@@ -1,0 +1,28 @@
+"""Shared fixtures for the benchmark harness.
+
+Every benchmark regenerates one of the paper's tables or figures (see
+DESIGN.md's experiment index), asserts its qualitative shape, and writes
+the rendered rows to ``benchmarks/results/``. Job counts are scaled down
+by default so the full harness runs in minutes; set ``REPRO_FULL=1`` for
+paper-scale runs (the numbers recorded in EXPERIMENTS.md).
+"""
+
+import pytest
+
+from repro.experiments.common import bench_scale, save_result
+
+
+@pytest.fixture(scope="session")
+def scale():
+    return bench_scale()
+
+
+@pytest.fixture()
+def record_result(capsys):
+    """Save a rendered artifact and echo it to the captured output."""
+
+    def _record(name: str, text: str):
+        path = save_result(name, text)
+        print(f"\n{text}\n[saved to {path}]")
+
+    return _record

@@ -1,0 +1,78 @@
+"""A1/A2/A3 — ablation benches for the design choices DESIGN.md calls out."""
+
+from repro.experiments import (
+    ablation_cycle,
+    ablation_knapsack,
+    ablation_placement,
+    ablation_value,
+)
+from repro.experiments.common import scaled
+
+
+def test_bench_ablation_value(benchmark, scale, record_result):
+    result = benchmark.pedantic(
+        ablation_value.run,
+        kwargs=dict(jobs=scaled(400, scale)),
+        rounds=1,
+        iterations=1,
+    )
+    record_result("ablation_value", ablation_value.render(result))
+
+    # Every value function produces a working schedule; the spread stays
+    # bounded (the value function is a secondary effect next to the
+    # memory constraint).
+    for workload in ("table1", "normal"):
+        spans = [by_wl[workload] for by_wl in result.makespans.values()]
+        assert min(spans) > 0
+        assert max(spans) < 1.5 * min(spans)
+
+
+def test_bench_ablation_knapsack(benchmark, scale, record_result):
+    result = benchmark.pedantic(
+        ablation_knapsack.run,
+        kwargs=dict(jobs=scaled(400, scale)),
+        rounds=1,
+        iterations=1,
+    )
+    record_result("ablation_knapsack", ablation_knapsack.render(result))
+
+    for workload in ("table1", "normal"):
+        spans = [by_wl[workload] for by_wl in result.makespans.values()]
+        assert max(spans) < 1.6 * min(spans)
+
+
+def test_bench_ablation_placement(benchmark, scale, record_result):
+    result = benchmark.pedantic(
+        ablation_placement.run,
+        kwargs=dict(jobs=scaled(400, scale)),
+        rounds=1,
+        iterations=1,
+    )
+    record_result("ablation_placement", ablation_placement.render(result))
+
+    # Every sharing policy beats the exclusive baseline at this pressure,
+    # and the whole sharing spectrum sits in one regime.
+    sharing = [v for k, v in result.makespans.items() if k != "MC"]
+    assert all(v < result.makespans["MC"] for v in sharing)
+    assert max(sharing) < 1.3 * min(sharing)
+
+
+def test_bench_ablation_cycle(benchmark, scale, record_result):
+    result = benchmark.pedantic(
+        ablation_cycle.run,
+        kwargs=dict(jobs=scaled(400, scale)),
+        rounds=1,
+        iterations=1,
+    )
+    record_result("ablation_cycle", ablation_cycle.render(result))
+
+    # Longer negotiation cycles can only hurt (monotone-ish): the longest
+    # interval is never better than the shortest by more than noise, and
+    # is measurably worse for MCCK, which pays the latency on every
+    # knapsack decision (the paper's SV-B explanation).
+    for distribution, series in result.makespans.items():
+        assert series["MCC"][-1] >= 0.95 * series["MCC"][0], distribution
+        assert series["MCCK"][-1] > series["MCCK"][0], distribution
+        # condor_reschedule flattens the sensitivity: at the longest
+        # interval the rescheduling variant beats plain MCCK.
+        assert series["MCCK+resched"][-1] < series["MCCK"][-1], distribution

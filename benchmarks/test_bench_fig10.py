@@ -1,0 +1,30 @@
+"""E8 — regenerate Fig. 10 (makespan under constant job pressure)."""
+
+from repro.experiments import fig10
+from repro.experiments.common import scaled
+
+
+def test_bench_fig10(benchmark, scale, record_result):
+    result = benchmark.pedantic(
+        fig10.run,
+        kwargs=dict(jobs_per_node=scaled(200, scale)),
+        rounds=1,
+        iterations=1,
+    )
+    record_result("fig10", fig10.render(result))
+
+    mc, mcc, mcck = (
+        result.makespans["MC"],
+        result.makespans["MCC"],
+        result.makespans["MCCK"],
+    )
+    # Constant pressure: makespan roughly flat in cluster size for each
+    # configuration (work scales with nodes).
+    for series in (mc, mcc, mcck):
+        assert max(series) < 1.5 * min(series)
+    # Sharing wins at every size; at the largest size the gains remain
+    # substantial (paper: MCCK -40% vs MC at 8 nodes).
+    for i in range(len(result.sizes)):
+        assert mcc[i] < mc[i]
+        assert mcck[i] < mc[i]
+    assert result.final_reduction("MCCK") > 15.0

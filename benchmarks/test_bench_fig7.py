@@ -1,0 +1,31 @@
+"""E4 — regenerate Fig. 7 (synthetic job-set resource distributions)."""
+
+import numpy as np
+
+from repro.experiments import fig7
+
+
+def test_bench_fig7(benchmark, record_result):
+    # Input generation is cheap; always run at full scale (400 jobs).
+    result = benchmark.pedantic(fig7.run, rounds=1, iterations=1)
+    record_result("fig7", fig7.render(result))
+
+    uniform = result.histograms["uniform"]
+    normal = result.histograms["normal"]
+    low = result.histograms["low-skew"]
+    high = result.histograms["high-skew"]
+
+    # Uniform: no bin dominates.
+    assert uniform.max() < 2.5 * max(1, uniform.min())
+    # Normal: centre-heavy.
+    assert normal[4] + normal[5] > normal[0] + normal[-1]
+    # Skews shift the mass: low-skew mean level < normal < high-skew.
+    bins = np.arange(len(normal)) + 0.5
+
+    def mean_level(counts):
+        return float((bins * counts).sum() / counts.sum())
+
+    assert mean_level(low) < mean_level(normal) < mean_level(high)
+    # The skewed means sit roughly one sigma from the normal mean.
+    assert result.mean_declared_mb["low-skew"] < result.mean_declared_mb["normal"]
+    assert result.mean_declared_mb["high-skew"] > result.mean_declared_mb["normal"]

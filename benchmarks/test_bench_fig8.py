@@ -1,0 +1,31 @@
+"""E5 — regenerate Fig. 8 (makespan vs job resource distribution)."""
+
+from repro.experiments import fig8
+from repro.experiments.common import scaled
+
+
+def test_bench_fig8(benchmark, scale, record_result):
+    result = benchmark.pedantic(
+        fig8.run,
+        kwargs=dict(jobs=scaled(400, scale)),
+        rounds=1,
+        iterations=1,
+    )
+    record_result("fig8", fig8.render(result))
+
+    # Shape: sharing always beats the exclusive baseline.
+    for distribution, by_config in result.makespans.items():
+        assert by_config["MCC"] < by_config["MC"], distribution
+        assert by_config["MCCK"] < by_config["MC"], distribution
+
+    # Shape: favourable distributions gain much more than high-skew.
+    assert result.reduction("low-skew", "MCCK") > result.reduction(
+        "high-skew", "MCCK"
+    )
+    assert result.reduction("normal", "MCCK") > result.reduction(
+        "high-skew", "MCCK"
+    )
+    # High-skew: MCCK may degrade slightly vs MCC (negotiation-cycle
+    # latency, paper SV-B) but stays in the same regime.
+    high = result.makespans["high-skew"]
+    assert high["MCCK"] < 1.2 * high["MCC"]

@@ -1,0 +1,29 @@
+"""E6 — regenerate Fig. 9 (makespan vs cluster size, per distribution)."""
+
+from repro.experiments import fig9
+from repro.experiments.common import scaled
+
+
+def test_bench_fig9(benchmark, scale, record_result):
+    sizes = (2, 4, 6, 8)
+    result = benchmark.pedantic(
+        fig9.run,
+        kwargs=dict(jobs=scaled(400, scale), sizes=sizes),
+        rounds=1,
+        iterations=1,
+    )
+    record_result("fig9", fig9.render(result))
+
+    for distribution, series in result.makespans.items():
+        mc, mcc, mcck = series["MC"], series["MCC"], series["MCCK"]
+        # Makespan decreases with cluster size for every configuration.
+        for values in (mc, mcc, mcck):
+            assert all(a >= b for a, b in zip(values, values[1:])), distribution
+        # Sharing beats exclusive at every size.
+        for i in range(len(sizes)):
+            assert mcc[i] < mc[i], (distribution, sizes[i])
+            assert mcck[i] < mc[i], (distribution, sizes[i])
+        # At the smallest cluster (highest pressure), random sharing is
+        # already close to knapsack sharing (paper: "for very small
+        # clusters ... naive scheduling approaches are equally effective").
+        assert abs(mcck[0] - mcc[0]) < 0.15 * mcc[0], distribution

@@ -1,0 +1,28 @@
+"""E1 — regenerate the §III motivation measurement (core utilization)."""
+
+from repro.experiments import motivation
+from repro.experiments.common import scaled
+
+
+def test_bench_motivation(benchmark, scale, record_result):
+    result = benchmark.pedantic(
+        motivation.run,
+        kwargs=dict(
+            real_jobs=scaled(1000, scale),
+            synthetic_jobs=scaled(400, scale),
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    record_result("motivation", motivation.render(result))
+
+    # Shape: exclusive allocation leaves the manycore mostly idle —
+    # utilization sits in a band around half capacity, never near full.
+    assert 0.25 <= result.real_mix_utilization <= 0.65
+    lo, hi = result.synthetic_band
+    assert 0.15 <= lo <= hi <= 0.70
+    # High-skew jobs use more cores than low-skew jobs under MC.
+    assert (
+        result.synthetic_utilization["high-skew"]
+        > result.synthetic_utilization["low-skew"]
+    )

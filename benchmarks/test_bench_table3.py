@@ -1,0 +1,30 @@
+"""E7 — regenerate Table III (footprint per resource distribution)."""
+
+from repro.experiments import table3
+from repro.experiments.common import scaled
+
+
+def test_bench_table3(benchmark, scale, record_result):
+    result = benchmark.pedantic(
+        table3.run,
+        kwargs=dict(jobs=scaled(400, scale)),
+        rounds=1,
+        iterations=1,
+    )
+    record_result("table3", table3.render(result))
+
+    sizes = {
+        (distribution, configuration): fp.cluster_size
+        for distribution, by_config in result.footprints.items()
+        for configuration, fp in by_config.items()
+    }
+    # Shape: every sharing configuration shrinks the cluster on the
+    # favourable distributions.
+    for distribution in ("uniform", "normal", "low-skew"):
+        for configuration in ("MCC", "MCCK"):
+            size = sizes[(distribution, configuration)]
+            assert size is not None and size < 8, (distribution, configuration)
+    # Low-skew shrinks at least as much as high-skew (paper: 3 vs 6).
+    low = sizes[("low-skew", "MCCK")]
+    high = sizes[("high-skew", "MCCK")] or 8
+    assert low is not None and low <= high

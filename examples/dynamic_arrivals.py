@@ -1,0 +1,66 @@
+#!/usr/bin/env python
+"""Dynamic arrivals: the paper's "outside the scope" scenario, working.
+
+§IV-D's limitations note that the knapsack approach is static but "can
+also be used in a dynamic context" by treating the pending queue as a
+snapshot. This example drives exactly that: jobs arrive in Poisson-ish
+waves; each wave is submitted to the running pool and the scheduler
+re-packs the devices with free capacity.
+
+Run: python examples/dynamic_arrivals.py
+"""
+
+import numpy as np
+
+from repro.cluster import ComputeNode
+from repro.condor import CondorPool, PinnedPlacement
+from repro.core import KnapsackClusterScheduler
+from repro.metrics import format_table
+from repro.sim import Environment
+from repro.workloads import generate_table1_jobs
+
+
+def main() -> None:
+    rng = np.random.default_rng(11)
+    env = Environment()
+    nodes = [ComputeNode(env, f"node{i}", mode="cosmic") for i in range(4)]
+    pool = CondorPool(env, nodes, PinnedPlacement(), cycle_interval=5.0)
+
+    # First wave is queued before the scheduler attaches.
+    waves = [generate_table1_jobs(30, seed=s) for s in (100, 101, 102, 103)]
+    for wave_index, wave in enumerate(waves):
+        for job in wave:
+            object.__setattr__(job, "job_id", f"w{wave_index}-{job.job_id}")
+    pool.submit(waves[0])
+
+    scheduler = KnapsackClusterScheduler(pool)
+    scheduler.attach()
+
+    arrivals = []
+
+    def arrival_process(env):
+        for wave_index, wave in enumerate(waves[1:], start=1):
+            yield env.timeout(float(rng.uniform(60, 120)))
+            pool.submit(wave)
+            assigned = scheduler.schedule_pending()
+            arrivals.append((env.now, wave_index, len(wave), assigned))
+
+    env.process(arrival_process(env))
+    makespan = pool.run_to_completion()
+
+    print(format_table(
+        ["arrival time", "wave", "jobs", "assigned immediately"],
+        [[f"{t:.0f}s", w, n, a] for t, w, n, a in arrivals],
+        title="Job waves arriving at a live 4-node pool",
+    ))
+    total = sum(len(w) for w in waves)
+    completed = len(pool.schedd.completed())
+    print(
+        f"\nall {completed}/{total} jobs completed; final makespan {makespan:.0f}s; "
+        f"{len(scheduler.decisions)} knapsack decisions made "
+        "(initial pass + one per completion + one per wave)."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,94 @@
+#!/usr/bin/env python
+"""Why sharing needs COSMIC: oversubscription on an unmanaged card.
+
+The paper's premise (§II-C): a manycore like the Phi reacts badly to
+resource oversubscription — thread oversubscription costs up to ~8x in
+performance, and memory oversubscription gets processes killed by the
+on-card OOM killer. This demo runs the *same* job set three ways on a
+single node:
+
+1. exclusive       — safe but slow (the MC baseline);
+2. unsafe sharing  — raw MPSS, no COSMIC: OOM kills and slowdowns;
+3. COSMIC sharing  — gated offloads + admission: safe AND fast.
+
+Run: python examples/oversubscription_demo.py
+"""
+
+from repro.cluster import ComputeNode
+from repro.metrics import format_table
+from repro.sim import Environment
+from repro.workloads import HostPhase, JobProfile, OffloadPhase
+
+
+def make_jobs(count: int = 6) -> list[JobProfile]:
+    """Hungry jobs: 3 GB resident, 200 threads each — any two of them
+    oversubscribe threads, any three oversubscribe the 8 GB memory."""
+    jobs = []
+    for i in range(count):
+        jobs.append(
+            JobProfile(
+                job_id=f"hungry-{i}",
+                app="demo",
+                phases=(
+                    HostPhase(2.0),
+                    OffloadPhase(work=10.0, threads=200, memory_mb=3000.0),
+                    HostPhase(2.0),
+                    OffloadPhase(work=10.0, threads=200, memory_mb=3000.0),
+                ),
+                declared_memory_mb=3000.0,
+                declared_threads=200,
+            )
+        )
+    return jobs
+
+
+def run_mode(mode: str, jobs: list[JobProfile]):
+    env = Environment()
+    node = ComputeNode(env, "node0", mode=mode)
+    results = []
+
+    def driver(env, profile):
+        result = yield from node.execute(
+            profile, exclusive=(mode == "exclusive")
+        )
+        results.append(result)
+
+    for profile in jobs:
+        env.process(driver(env, profile))
+    env.run()
+    device = node.devices[0]
+    return {
+        "mode": mode,
+        "makespan": max(r.end for r in results),
+        "completed": sum(1 for r in results if r.completed),
+        "oom_kills": device.telemetry.oom_kills,
+        "jobs": len(results),
+    }
+
+
+def main() -> None:
+    jobs = make_jobs()
+    rows = []
+    for mode in ("exclusive", "unsafe", "cosmic"):
+        outcome = run_mode(mode, jobs)
+        rows.append([
+            mode,
+            f"{outcome['makespan']:.0f}s",
+            f"{outcome['completed']}/{outcome['jobs']}",
+            outcome["oom_kills"],
+        ])
+    print(format_table(
+        ["mode", "makespan", "jobs survived", "OOM kills"],
+        rows,
+        title="Six 3GB/200-thread jobs on ONE Xeon Phi (8 GB, 240 threads)",
+    ))
+    print(
+        "\n'unsafe' pays for concurrency with crashes (the OOM killer"
+        "\npicks victims) and oversubscription slowdowns; COSMIC keeps the"
+        "\nconcurrency while protecting memory and threads — the property"
+        "\nthe cluster scheduler builds on."
+    )
+
+
+if __name__ == "__main__":
+    main()

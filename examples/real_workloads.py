@@ -1,0 +1,33 @@
+#!/usr/bin/env python
+"""The Table II pipeline on the real (Table I) workload mix.
+
+Reproduces the paper's headline experiment end to end at a configurable
+scale: generate N instances of the seven Xeon Phi applications, run MC /
+MCC / MCCK on the 8-node cluster, then search for each sharing stack's
+coprocessor footprint (the smallest cluster matching the MC makespan).
+
+Run: python examples/real_workloads.py [N]   (default 300 jobs)
+"""
+
+import sys
+
+from repro.experiments import table2
+
+
+def main() -> None:
+    jobs = int(sys.argv[1]) if len(sys.argv) > 1 else 300
+    print(f"Running the Table II pipeline with {jobs} jobs "
+          f"(paper scale: 1000)...\n")
+    result = table2.run(jobs=jobs)
+    print(table2.render(result))
+    print(
+        "\nInterpretation: coprocessor sharing (MCC) removes the exclusive-"
+        "\nallocation idle time; the knapsack cluster scheduler (MCCK) adds"
+        "\ncluster-level control over WHICH jobs share each card. Both let a"
+        "\nsmaller cluster match the 8-node baseline's makespan — the"
+        "\nfootprint columns."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,39 @@
+#!/usr/bin/env python
+"""Sensitivity study: how job resource distributions change the picture.
+
+Runs the Fig. 8 experiment (four synthetic distributions on 8 nodes) and
+the Fig. 9 cluster-size sweep for one distribution, printing the series
+the paper plots.
+
+Run: python examples/sensitivity.py [N]   (default 400 jobs per set; low counts change the regime)
+"""
+
+import sys
+
+from repro.experiments import fig8, fig9
+
+
+def main() -> None:
+    jobs = int(sys.argv[1]) if len(sys.argv) > 1 else 400
+
+    print(f"Fig. 8 — makespan by distribution ({jobs} jobs per set)\n")
+    result8 = fig8.run(jobs=jobs)
+    print(fig8.render(result8))
+    print(
+        "\nNote the high-skew row: mostly-big jobs leave little room to"
+        "\nshare, so both sharing stacks compress toward the baseline —"
+        "\nexactly the paper's sensitivity argument.\n"
+    )
+
+    print(f"Fig. 9 — cluster-size sweep (normal distribution, {jobs} jobs)\n")
+    result9 = fig9.run(jobs=jobs, sizes=(2, 4, 6, 8), distributions=("normal",))
+    print(fig9.render(result9))
+    print(
+        "\nAt 2 nodes the job pressure is so high that even random sharing"
+        "\nsaturates the cards; the cluster-level scheduler matters more as"
+        "\nthe cluster grows."
+    )
+
+
+if __name__ == "__main__":
+    main()

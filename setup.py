@@ -1,0 +1,7 @@
+"""Setup shim: enables legacy editable installs in offline environments
+where the ``wheel`` package (needed for PEP 660 builds) is unavailable.
+All project metadata lives in pyproject.toml."""
+
+from setuptools import setup
+
+setup()

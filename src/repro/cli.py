@@ -1,0 +1,110 @@
+"""Command-line entry point: regenerate the paper's tables and figures.
+
+Usage::
+
+    python -m repro.experiments table2          # one artifact
+    python -m repro.experiments all             # everything
+    python -m repro.experiments table2 --jobs 200
+    repro-experiments fig8                      # installed script
+
+Job counts default to quick sizes; pass ``--full`` for the paper-scale
+runs recorded in EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from typing import Optional, Sequence
+
+from .experiments import EXPERIMENTS
+
+#: Paper-scale job counts per experiment (used with --full).
+_FULL_JOBS = {
+    "motivation": 1000,
+    "table2": 1000,
+    "table3": 400,
+    "fig7": 400,
+    "fig8": 400,
+    "fig9": 400,
+    "fig10": None,  # scales with cluster size by construction
+    "ablation-value": 400,
+    "ablation-knapsack": 400,
+    "ablation-cycle": 400,
+    "ablation-placement": 400,
+    "ext-capacity": 400,
+    "ext-multidevice": 400,
+    "ext-oversubscription": None,
+    "ext-replication": 400,
+}
+
+#: Quick job counts (default).
+_QUICK_JOBS = {
+    "motivation": 250,
+    "table2": 250,
+    "table3": 120,
+    "fig7": 400,  # input-only, cheap
+    "fig8": 120,
+    "fig9": 120,
+    "fig10": None,
+    "ablation-value": 120,
+    "ablation-knapsack": 120,
+    "ablation-cycle": 120,
+    "ablation-placement": 120,
+    "ext-capacity": 120,
+    "ext-multidevice": 120,
+    "ext-oversubscription": None,
+    "ext-replication": 60,
+}
+
+
+def _run_one(name: str, jobs: Optional[int], seed: int) -> str:
+    module = EXPERIMENTS[name]
+    kwargs = {}
+    if jobs is not None:
+        if name == "fig10":
+            kwargs["jobs_per_node"] = max(1, jobs // 8)
+        elif name == "motivation":
+            kwargs["real_jobs"] = jobs
+            kwargs["synthetic_jobs"] = max(8, int(jobs * 0.4))
+        else:
+            kwargs["jobs"] = jobs
+    kwargs["seed"] = seed
+    result = module.run(**kwargs)
+    return module.render(result)
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro-experiments",
+        description="Regenerate the paper's tables and figures on the simulator.",
+    )
+    parser.add_argument(
+        "experiment",
+        choices=[*EXPERIMENTS.keys(), "all"],
+        help="which artifact to regenerate",
+    )
+    parser.add_argument(
+        "--jobs", type=int, default=None, help="override the job count"
+    )
+    parser.add_argument(
+        "--full", action="store_true", help="paper-scale job counts (slower)"
+    )
+    parser.add_argument("--seed", type=int, default=42, help="workload seed")
+    args = parser.parse_args(argv)
+
+    names = list(EXPERIMENTS) if args.experiment == "all" else [args.experiment]
+    table = _FULL_JOBS if args.full else _QUICK_JOBS
+    for name in names:
+        jobs = args.jobs if args.jobs is not None else table[name]
+        started = time.perf_counter()
+        output = _run_one(name, jobs, args.seed)
+        elapsed = time.perf_counter() - started
+        print(output)
+        print(f"[{name}: {elapsed:.1f}s]\n")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

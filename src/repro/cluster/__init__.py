@@ -1,0 +1,38 @@
+"""Cluster assembly and end-to-end simulation of MC / MCC / MCCK."""
+
+from .node import ComputeNode, MODES
+from .validate import (
+    ValidationReport,
+    Violation,
+    validate_devices,
+    validate_exclusive,
+    validate_pool,
+)
+from .simulation import (
+    CONFIGURATIONS,
+    ClusterConfig,
+    SimulationResult,
+    run_best_fit,
+    run_configuration,
+    run_mc,
+    run_mcc,
+    run_mcck,
+)
+
+__all__ = [
+    "CONFIGURATIONS",
+    "ClusterConfig",
+    "ComputeNode",
+    "MODES",
+    "SimulationResult",
+    "ValidationReport",
+    "Violation",
+    "run_best_fit",
+    "run_configuration",
+    "run_mc",
+    "run_mcc",
+    "run_mcck",
+    "validate_devices",
+    "validate_exclusive",
+    "validate_pool",
+]

@@ -1,0 +1,223 @@
+"""A compute server: host slots, one or more Xeon Phi cards, middleware.
+
+The node is the execution half of the Condor integration: the startd
+claims a host slot and calls :meth:`ComputeNode.execute`, which routes the
+job to a coprocessor under one of three regimes mirroring the paper's
+configurations (§V):
+
+* ``"exclusive"`` — MC: the job owns a whole card for its lifetime
+  (device lock); raw MPSS runtime, no gating needed because nothing
+  shares.
+* ``"cosmic"`` — MCC / MCCK: COSMIC admits the job by declared memory,
+  gates each offload's threads, and enforces the declared memory limit.
+* ``"unsafe"`` — raw MPSS sharing with no protection: the motivation
+  experiments' oversubscription regime (crashes and slowdowns).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..condor.ads import DeviceSnapshot
+from ..cosmic import Cosmic, DeclaredMemoryEnforcer
+from ..mpss import OffloadRuntime, SCIFModel
+from ..phi import (
+    AffinitizedContention,
+    CALIBRATED_SHARING_PENALTY,
+    ContentionModel,
+    UnmanagedContention,
+    XeonPhi,
+    XeonPhiSpec,
+    PAPER_SPEC,
+)
+from ..sim import Environment, Resource
+from ..workloads.profiles import JobProfile
+
+MODES = ("exclusive", "cosmic", "unsafe")
+
+
+class ComputeNode:
+    """One server with ``num_devices`` coprocessors.
+
+    Parameters
+    ----------
+    env, name:
+        Simulation environment and node name (used in slot ads).
+    num_devices:
+        Cards per server (the paper's cluster has 1).
+    spec:
+        Per-card hardware description.
+    mode:
+        ``"exclusive"`` / ``"cosmic"`` / ``"unsafe"`` (see module docs).
+    contention:
+        Override the per-card contention model. Defaults to affinitized
+        execution for managed modes and unmanaged interference for
+        ``"unsafe"``.
+    scif:
+        Host<->device transfer model shared by all cards.
+    memory_tolerance:
+        Slack fraction for COSMIC's container enforcement.
+    coi_base_mb:
+        Device memory resident as soon as a job's COI process exists.
+    """
+
+    def __init__(
+        self,
+        env: Environment,
+        name: str,
+        num_devices: int = 1,
+        spec: XeonPhiSpec = PAPER_SPEC,
+        mode: str = "cosmic",
+        contention: Optional[ContentionModel] = None,
+        scif: Optional[SCIFModel] = None,
+        memory_tolerance: float = 0.0,
+        coi_base_mb: float = 0.0,
+    ) -> None:
+        if mode not in MODES:
+            raise ValueError(f"mode must be one of {MODES}, got {mode!r}")
+        if num_devices <= 0:
+            raise ValueError("num_devices must be positive")
+        self.env = env
+        self.name = name
+        self.mode = mode
+        self.spec = spec
+
+        if contention is None:
+            contention = (
+                UnmanagedContention()
+                if mode == "unsafe"
+                else AffinitizedContention(
+                    sharing_penalty=CALIBRATED_SHARING_PENALTY
+                )
+            )
+
+        self.devices: list[XeonPhi] = [
+            XeonPhi(env, spec=spec, contention=contention, name=f"{name}/mic{i}")
+            for i in range(num_devices)
+        ]
+        self.cosmics: list[Optional[Cosmic]] = []
+        self.runtimes: list[OffloadRuntime] = []
+        self._locks: list[Resource] = []
+        self._running: list[int] = [0] * num_devices
+
+        for device in self.devices:
+            if mode == "cosmic":
+                cosmic = Cosmic(
+                    env,
+                    device,
+                    enforcer=DeclaredMemoryEnforcer(tolerance=memory_tolerance),
+                )
+                runtime = OffloadRuntime(
+                    env,
+                    device,
+                    scif=scif,
+                    gate=cosmic,
+                    enforcer=cosmic.enforcer,
+                    coi_base_mb=coi_base_mb,
+                )
+            else:
+                cosmic = None
+                runtime = OffloadRuntime(env, device, scif=scif, coi_base_mb=coi_base_mb)
+            self.cosmics.append(cosmic)
+            self.runtimes.append(runtime)
+            self._locks.append(Resource(env, capacity=1))
+
+    # -- NodeExecutor interface ------------------------------------------------
+
+    def device_states(self) -> list[DeviceSnapshot]:
+        states = []
+        for index, device in enumerate(self.devices):
+            cosmic = self.cosmics[index]
+            if cosmic is not None:
+                free_mb = cosmic.free_declared_memory_mb
+                resident = cosmic.resident_jobs
+            else:
+                resident = self._running[index]
+                free_mb = (
+                    0.0 if resident else float(device.spec.usable_memory_mb)
+                )
+            states.append(
+                DeviceSnapshot(
+                    index=index,
+                    memory_mb=float(device.spec.usable_memory_mb),
+                    free_declared_mb=free_mb,
+                    resident_jobs=resident,
+                    hardware_threads=device.spec.hardware_threads,
+                    claimed_exclusive=False,  # overlaid by the startd
+                )
+            )
+        return states
+
+    def execute(
+        self,
+        profile: JobProfile,
+        device_index: Optional[int] = None,
+        exclusive: bool = False,
+    ):
+        """Run one job on this node; ``yield from`` inside a process."""
+        index = self._pick_device(device_index, profile)
+        if exclusive or self.mode == "exclusive":
+            result = yield from self._execute_exclusive(profile, index)
+        elif self.mode == "cosmic":
+            result = yield from self._execute_cosmic(profile, index)
+        else:
+            result = yield from self._execute_unsafe(profile, index)
+        return result
+
+    # -- placement within the node ----------------------------------------------
+
+    def _pick_device(self, device_index: Optional[int], profile: JobProfile) -> int:
+        if device_index is not None:
+            if not 0 <= device_index < len(self.devices):
+                raise ValueError(f"no device {device_index} on {self.name}")
+            return device_index
+        if self.mode == "cosmic":
+            # Most free declared memory first (sharing-friendly).
+            frees = [
+                (cosmic.free_declared_memory_mb, -i)
+                for i, cosmic in enumerate(self.cosmics)
+                if cosmic is not None
+            ]
+            return -max(frees)[1]
+        # Exclusive / unsafe: least-loaded device.
+        return min(range(len(self.devices)), key=lambda i: (self._running[i], i))
+
+    # -- execution regimes --------------------------------------------------------
+
+    def _execute_exclusive(self, profile: JobProfile, index: int):
+        lock = self._locks[index]
+        with lock.request() as claim:
+            yield claim
+            self._running[index] += 1
+            try:
+                result = yield from self.runtimes[index].execute(profile)
+            finally:
+                self._running[index] -= 1
+        return result
+
+    def _execute_cosmic(self, profile: JobProfile, index: int):
+        cosmic = self.cosmics[index]
+        assert cosmic is not None
+        declared = profile.declared_memory_mb
+        yield cosmic.admit_job(declared)
+        self._running[index] += 1
+        try:
+            result = yield from self.runtimes[index].execute(profile)
+        finally:
+            self._running[index] -= 1
+            cosmic.release_job(declared)
+        return result
+
+    def _execute_unsafe(self, profile: JobProfile, index: int):
+        self._running[index] += 1
+        try:
+            result = yield from self.runtimes[index].execute(profile)
+        finally:
+            self._running[index] -= 1
+        return result
+
+    def __repr__(self) -> str:
+        return (
+            f"<ComputeNode {self.name} mode={self.mode} "
+            f"devices={len(self.devices)} running={sum(self._running)}>"
+        )

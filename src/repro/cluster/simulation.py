@@ -1,0 +1,259 @@
+"""End-to-end cluster simulations of the paper's three configurations.
+
+This is the experiment driver: build a cluster, submit a job set under
+one of the software stacks the evaluation compares (§V), run the
+simulation to completion, and collect the metrics the paper reports.
+
+* **MC** — MPSS + Condor: exclusive coprocessor allocation (baseline).
+* **MCC** — + COSMIC: random cluster-level placement, safe node sharing.
+* **MCCK** — + the knapsack cluster scheduler (the proposed system).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Optional, Sequence
+
+from ..condor import (
+    CondorPool,
+    ExclusivePlacement,
+    PinnedPlacement,
+    PlacementPolicy,
+    RandomPlacement,
+)
+from ..core import DevicePacker, KnapsackClusterScheduler
+from ..mpss import JobRunResult, SCIFModel
+from ..phi import PAPER_SPEC, XeonPhiSpec
+from ..sim import Environment
+from ..workloads.profiles import JobProfile
+from .node import ComputeNode
+
+CONFIGURATIONS = ("MC", "MCC", "MCCK")
+
+
+@dataclass(frozen=True)
+class ClusterConfig:
+    """Shape and timing of the simulated cluster.
+
+    Defaults follow the paper's platform: 8 nodes, 1 Phi each (8 GB),
+    2x8-core hosts (16 Condor slots).
+    """
+
+    nodes: int = 8
+    devices_per_node: int = 1
+    spec: XeonPhiSpec = PAPER_SPEC
+    slots_per_node: int = 16
+    cycle_interval: float = 5.0
+    dispatch_latency: float = 1.0
+    seed: int = 1234
+    memory_tolerance: float = 0.0
+    coi_base_mb: float = 0.0
+    #: condor_reschedule fidelity knob: completions trigger an extra
+    #: negotiation cycle instead of waiting for the periodic timer.
+    reschedule_on_completion: bool = False
+
+    def __post_init__(self) -> None:
+        if self.nodes <= 0:
+            raise ValueError("nodes must be positive")
+        if self.devices_per_node <= 0:
+            raise ValueError("devices_per_node must be positive")
+
+    def resized(self, nodes: int) -> "ClusterConfig":
+        """The same configuration at a different cluster size."""
+        from dataclasses import replace
+
+        return replace(self, nodes=nodes)
+
+
+@dataclass
+class SimulationResult:
+    """Everything the experiments read off one run."""
+
+    configuration: str
+    cluster_size: int
+    job_count: int
+    makespan: float
+    per_device_utilization: list[float]
+    job_results: list[JobRunResult]
+    oom_kills: int
+    memory_limit_kills: int
+    negotiation_cycles: int
+    packing_decisions: int = 0
+
+    @property
+    def mean_core_utilization(self) -> float:
+        """The paper's §III metric: average busy-core fraction."""
+        if not self.per_device_utilization:
+            return 0.0
+        return sum(self.per_device_utilization) / len(self.per_device_utilization)
+
+    @property
+    def completed_jobs(self) -> int:
+        return sum(1 for r in self.job_results if r.completed)
+
+    @property
+    def failed_jobs(self) -> int:
+        return len(self.job_results) - self.completed_jobs
+
+
+def _build(
+    jobs: Sequence[JobProfile],
+    config: ClusterConfig,
+    mode: str,
+    policy: PlacementPolicy,
+) -> tuple[Environment, CondorPool, list[ComputeNode]]:
+    env = Environment()
+    nodes = [
+        ComputeNode(
+            env,
+            name=f"node{i}",
+            num_devices=config.devices_per_node,
+            spec=config.spec,
+            mode=mode,
+            memory_tolerance=config.memory_tolerance,
+            coi_base_mb=config.coi_base_mb,
+        )
+        for i in range(config.nodes)
+    ]
+    pool = CondorPool(
+        env,
+        nodes,
+        policy,
+        slots_per_node=config.slots_per_node,
+        cycle_interval=config.cycle_interval,
+        dispatch_latency=config.dispatch_latency,
+        reschedule_on_completion=config.reschedule_on_completion,
+    )
+    _validate_jobs(jobs, config)
+    pool.submit(list(jobs))
+    return env, pool, nodes
+
+
+def _validate_jobs(jobs: Sequence[JobProfile], config: ClusterConfig) -> None:
+    if not jobs:
+        raise ValueError("empty job set")
+    spec = config.spec
+    for job in jobs:
+        job.validate_fits(spec.usable_memory_mb, spec.hardware_threads)
+
+
+def _collect(
+    configuration: str,
+    config: ClusterConfig,
+    pool: CondorPool,
+    nodes: list[ComputeNode],
+    makespan: float,
+    packing_decisions: int = 0,
+) -> SimulationResult:
+    devices = [device for node in nodes for device in node.devices]
+    horizon = makespan if makespan > 0 else 1.0
+    utilizations = [
+        device.telemetry.core_utilization(device.spec.cores, 0.0, horizon)
+        for device in devices
+    ]
+    results = [
+        record.result
+        for record in pool.schedd.completed()
+        if record.result is not None
+    ]
+    memory_limit_kills = sum(1 for r in results if r.status == "memory-limit")
+    oom_kills = sum(device.telemetry.oom_kills for device in devices)
+    return SimulationResult(
+        configuration=configuration,
+        cluster_size=config.nodes,
+        job_count=len(results),
+        makespan=makespan,
+        per_device_utilization=utilizations,
+        job_results=results,
+        oom_kills=oom_kills,
+        memory_limit_kills=memory_limit_kills,
+        negotiation_cycles=pool.negotiator.cycles_run,
+        packing_decisions=packing_decisions,
+    )
+
+
+def run_mc(
+    jobs: Sequence[JobProfile], config: ClusterConfig = ClusterConfig()
+) -> SimulationResult:
+    """Baseline: exclusive coprocessor allocation (MPSS + Condor)."""
+    env, pool, nodes = _build(jobs, config, mode="exclusive", policy=ExclusivePlacement())
+    makespan = pool.run_to_completion()
+    return _collect("MC", config, pool, nodes, makespan)
+
+
+def run_mcc(
+    jobs: Sequence[JobProfile],
+    config: ClusterConfig = ClusterConfig(),
+    memory_aware: bool = False,
+) -> SimulationResult:
+    """MPSS + Condor + COSMIC: random placement, safe node-level sharing.
+
+    With the default ``memory_aware=False``, placement is the paper's
+    "packed arbitrarily": any node with a free host slot; COSMIC queues
+    jobs at the node until their declaration fits the card.
+    """
+    rng = random.Random(config.seed)
+    env, pool, nodes = _build(
+        jobs, config, mode="cosmic",
+        policy=RandomPlacement(rng, memory_aware=memory_aware),
+    )
+    makespan = pool.run_to_completion()
+    return _collect("MCC", config, pool, nodes, makespan)
+
+
+def run_best_fit(
+    jobs: Sequence[JobProfile], config: ClusterConfig = ClusterConfig()
+) -> SimulationResult:
+    """Extra baseline (not in the paper): best-fit placement over COSMIC.
+
+    Sits between MCC (random) and MCCK (knapsack): memory-aware greedy
+    placement with no look-ahead over the pending set. Used by the
+    placement-policy ablation.
+    """
+    from ..condor.negotiator import BestFitPlacement
+
+    env, pool, nodes = _build(jobs, config, mode="cosmic", policy=BestFitPlacement())
+    makespan = pool.run_to_completion()
+    return _collect("BESTFIT", config, pool, nodes, makespan)
+
+
+def run_mcck(
+    jobs: Sequence[JobProfile],
+    config: ClusterConfig = ClusterConfig(),
+    packer: Optional[DevicePacker] = None,
+    respect_host_slots: bool = True,
+) -> SimulationResult:
+    """The proposed system: knapsack cluster scheduler over COSMIC."""
+    env, pool, nodes = _build(jobs, config, mode="cosmic", policy=PinnedPlacement())
+    if packer is None:
+        # The paper's packing rule: a set whose declared threads exceed
+        # the hardware budget has zero knapsack value (hard cap).
+        packer = DevicePacker(thread_capacity=config.spec.hardware_threads)
+    scheduler = KnapsackClusterScheduler(
+        pool, packer=packer, respect_host_slots=respect_host_slots
+    )
+    scheduler.attach()
+    makespan = pool.run_to_completion()
+    return _collect(
+        "MCCK", config, pool, nodes, makespan,
+        packing_decisions=len(scheduler.decisions),
+    )
+
+
+def run_configuration(
+    configuration: str,
+    jobs: Sequence[JobProfile],
+    config: ClusterConfig = ClusterConfig(),
+    **kwargs,
+) -> SimulationResult:
+    """Dispatch by configuration name ("MC" / "MCC" / "MCCK")."""
+    if configuration == "MC":
+        return run_mc(jobs, config)
+    if configuration == "MCC":
+        return run_mcc(jobs, config)
+    if configuration == "MCCK":
+        return run_mcck(jobs, config, **kwargs)
+    raise ValueError(
+        f"unknown configuration {configuration!r}; choose from {CONFIGURATIONS}"
+    )

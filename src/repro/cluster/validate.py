@@ -1,0 +1,156 @@
+"""Post-run invariant validation.
+
+Walks the telemetry a finished simulation leaves behind and checks the
+safety properties the whole design rests on (§II-C / §IV-D2):
+
+* physical device memory was never oversubscribed under managed modes;
+* hardware threads were never oversubscribed while COSMIC gated offloads;
+* exclusive mode truly ran one job's offloads at a time;
+* every submitted job reached a terminal state.
+
+Used by tests, and exposed publicly so downstream experiments can assert
+their own runs were safe.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence
+
+from ..condor.pool import CondorPool
+from ..phi.device import XeonPhi
+
+
+@dataclass
+class Violation:
+    """One broken invariant."""
+
+    kind: str
+    where: str
+    detail: str
+
+    def __str__(self) -> str:
+        return f"[{self.kind}] {self.where}: {self.detail}"
+
+
+@dataclass
+class ValidationReport:
+    """All violations found (empty = the run was safe)."""
+
+    violations: list[Violation] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.violations
+
+    def add(self, kind: str, where: str, detail: str) -> None:
+        self.violations.append(Violation(kind, where, detail))
+
+    def raise_if_failed(self) -> None:
+        if not self.ok:
+            summary = "\n".join(str(v) for v in self.violations)
+            raise AssertionError(f"invariant violations:\n{summary}")
+
+    def __str__(self) -> str:
+        if self.ok:
+            return "all invariants hold"
+        return "\n".join(str(v) for v in self.violations)
+
+
+def validate_devices(
+    devices: Sequence[XeonPhi],
+    expect_gated: bool = True,
+    report: ValidationReport | None = None,
+) -> ValidationReport:
+    """Check device telemetry for memory / thread oversubscription."""
+    report = report or ValidationReport()
+    for device in devices:
+        capacity = device.spec.usable_memory_mb
+        peak_memory = max(device.telemetry.resident_memory_mb.values, default=0.0)
+        if peak_memory > capacity + 1e-9:
+            report.add(
+                "memory-oversubscription",
+                device.name,
+                f"peak resident {peak_memory:.0f} MB > {capacity} MB",
+            )
+        if expect_gated:
+            budget = device.spec.hardware_threads
+            # busy_threads telemetry is clamped at the budget, so check
+            # the offload log: gated devices never co-run offloads whose
+            # demands sum past the budget.
+            overlap = _max_overlapping_threads(device)
+            if overlap > budget:
+                report.add(
+                    "thread-oversubscription",
+                    device.name,
+                    f"concurrent offload demand reached {overlap} threads",
+                )
+        if device.telemetry.oom_kills:
+            report.add(
+                "oom-kill",
+                device.name,
+                f"{device.telemetry.oom_kills} process(es) OOM-killed",
+            )
+    return report
+
+
+def _max_overlapping_threads(device: XeonPhi) -> int:
+    """Sweep the offload log for the peak concurrent thread demand."""
+    events: list[tuple[float, int, int]] = []
+    for record in device.offload_log:
+        # Order ends before starts at equal times (half-open intervals).
+        events.append((record.start, 1, record.threads))
+        events.append((record.end, 0, -record.threads))
+    events.sort()
+    current = peak = 0
+    for _time, _order, delta in events:
+        current += delta
+        peak = max(peak, current)
+    return peak
+
+
+def validate_exclusive(devices: Sequence[XeonPhi]) -> ValidationReport:
+    """Exclusive mode: at most one job's offloads on a device at a time."""
+    report = ValidationReport()
+    for device in devices:
+        events: list[tuple[float, int, object]] = []
+        for record in device.offload_log:
+            events.append((record.start, 1, record.owner))
+            events.append((record.end, 0, record.owner))
+        events.sort(key=lambda e: (e[0], e[1]))
+        active: set = set()
+        for _time, kind, owner in events:
+            if kind == 1:
+                active.add(owner)
+                if len(active) > 1:
+                    report.add(
+                        "exclusivity",
+                        device.name,
+                        f"jobs {sorted(map(str, active))} overlapped",
+                    )
+            else:
+                active.discard(owner)
+    return report
+
+
+def validate_pool(pool: CondorPool, expect_gated: bool = True) -> ValidationReport:
+    """Full-pool check: devices + queue accounting."""
+    report = ValidationReport()
+    devices = [
+        device for startd in pool.startds for device in startd.executor.devices
+    ]
+    validate_devices(devices, expect_gated=expect_gated, report=report)
+    if pool.schedd.unfinished_jobs:
+        report.add(
+            "queue",
+            "schedd",
+            f"{pool.schedd.unfinished_jobs} job(s) never reached a terminal state",
+        )
+    for startd in pool.startds:
+        if startd.free_slots != startd.slots:
+            report.add(
+                "slots",
+                startd.name,
+                f"{startd.slots - startd.free_slots} slot(s) still claimed",
+            )
+    return report

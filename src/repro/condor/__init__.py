@@ -1,0 +1,66 @@
+"""HTCondor analogue: ClassAds, schedd, collector, negotiator, startd, pool."""
+
+from .ads import DeviceSnapshot, MachineSnapshot, job_ad, machine_ad
+from .classad import (
+    ERROR,
+    UNDEFINED,
+    ClassAd,
+    ClassAdError,
+    parse,
+    rank,
+    symmetric_match,
+)
+from .collector import Collector
+from .negotiator import (
+    BestFitPlacement,
+    ExclusivePlacement,
+    Negotiator,
+    PinnedPlacement,
+    PlacementPolicy,
+    RandomPlacement,
+)
+from .pool import CondorPool
+from .schedd import COMPLETED, IDLE, RUNNING, JobRecord, Schedd
+from .startd import NodeExecutor, Startd
+from .tools import condor_q, condor_status
+from .submit import (
+    SubmitError,
+    format_classad,
+    parse_classad_text,
+    parse_submit,
+)
+
+__all__ = [
+    "BestFitPlacement",
+    "COMPLETED",
+    "ClassAd",
+    "ClassAdError",
+    "Collector",
+    "CondorPool",
+    "DeviceSnapshot",
+    "ERROR",
+    "ExclusivePlacement",
+    "IDLE",
+    "JobRecord",
+    "MachineSnapshot",
+    "Negotiator",
+    "NodeExecutor",
+    "PinnedPlacement",
+    "PlacementPolicy",
+    "RUNNING",
+    "RandomPlacement",
+    "Schedd",
+    "Startd",
+    "SubmitError",
+    "UNDEFINED",
+    "format_classad",
+    "job_ad",
+    "machine_ad",
+    "condor_q",
+    "condor_status",
+    "parse_classad_text",
+    "parse_submit",
+    "parse",
+    "rank",
+    "symmetric_match",
+]

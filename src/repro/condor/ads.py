@@ -1,0 +1,134 @@
+"""Builders for the job and machine ClassAds the integration exchanges.
+
+Mirrors §IV-D1: each compute node learns its Phi configuration through
+``micinfo`` and advertises device count and memory; each job's submit
+file requests a number of Phi devices, memory and threads. The external
+knapsack scheduler later *rewrites* job Requirements to pin the job to
+the node it selected (``Name == "<slot>@<node>"``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from ..workloads.profiles import JobProfile
+from .classad import ClassAd
+
+
+@dataclass
+class DeviceSnapshot:
+    """Negotiation-time view of one coprocessor on a node."""
+
+    index: int
+    memory_mb: float
+    free_declared_mb: float
+    resident_jobs: int
+    hardware_threads: int
+    claimed_exclusive: bool
+
+
+@dataclass
+class MachineSnapshot:
+    """Negotiation-time view of one compute node (all its slots).
+
+    The negotiator *deducts* from this snapshot as it matches jobs within
+    a cycle, exactly like Condor's resource deduction during negotiation.
+    """
+
+    node: str
+    total_slots: int
+    free_slots: int
+    devices: list[DeviceSnapshot] = field(default_factory=list)
+
+    @property
+    def devices_free(self) -> int:
+        """Devices with no exclusive claim (the MC baseline's resource)."""
+        return sum(1 for d in self.devices if not d.claimed_exclusive)
+
+    def best_device_for(self, declared_mb: float) -> Optional[DeviceSnapshot]:
+        """Sharing placement: the device with most free declared memory."""
+        usable = [d for d in self.devices if not d.claimed_exclusive]
+        if not usable:
+            return None
+        return max(usable, key=lambda d: (d.free_declared_mb, -d.index))
+
+    def first_free_device(self) -> Optional[DeviceSnapshot]:
+        """Exclusive placement: lowest-index unclaimed device."""
+        for device in self.devices:
+            if not device.claimed_exclusive and device.resident_jobs == 0:
+                return device
+        return None
+
+
+def job_ad(
+    profile: JobProfile, sharing: bool = True, memory_aware: bool = True
+) -> ClassAd:
+    """Build the submit-file ClassAd for ``profile``.
+
+    ``sharing=False`` produces the baseline (MC) request: the job insists
+    on a whole free coprocessor, reproducing the exclusive-allocation
+    policy.
+
+    ``sharing=True, memory_aware=True`` additionally requires the
+    advertised *free* device memory to cover the declaration (Condor
+    deducts PhiFreeMemory during negotiation, so the cluster never
+    overcommits declarations). With ``memory_aware=False`` the job only
+    needs a free host slot — the paper's MCC, where jobs are "packed
+    arbitrarily" and COSMIC alone prevents oversubscription by queueing
+    them at the node.
+    """
+    ad = ClassAd(
+        {
+            "JobId": profile.job_id,
+            "App": profile.app,
+            "QDate": profile.submit_time,
+            "RequestPhiDevices": 1,
+            "RequestPhiMemory": float(profile.declared_memory_mb),
+            "RequestPhiThreads": int(profile.declared_threads),
+            "JobStatus": "Idle",
+        }
+    )
+    if sharing and memory_aware:
+        ad.set_expr(
+            "Requirements",
+            "TARGET.PhiDevices >= MY.RequestPhiDevices"
+            " && MY.RequestPhiMemory <= TARGET.PhiFreeMemory"
+            " && TARGET.FreeSlots >= 1",
+        )
+    elif sharing:
+        ad.set_expr(
+            "Requirements",
+            "TARGET.PhiDevices >= MY.RequestPhiDevices"
+            " && MY.RequestPhiMemory <= TARGET.PhiMemory"
+            " && TARGET.FreeSlots >= 1",
+        )
+    else:
+        ad.set_expr(
+            "Requirements",
+            "TARGET.PhiDevicesFree >= MY.RequestPhiDevices"
+            " && MY.RequestPhiMemory <= TARGET.PhiMemory"
+            " && TARGET.FreeSlots >= 1",
+        )
+    return ad
+
+
+def machine_ad(snapshot: MachineSnapshot) -> ClassAd:
+    """Build a node's advertised ClassAd from a negotiation snapshot."""
+    memory = max((d.memory_mb for d in snapshot.devices), default=0.0)
+    free_declared = max((d.free_declared_mb for d in snapshot.devices), default=0.0)
+    ad = ClassAd(
+        {
+            "Name": f"slot1@{snapshot.node}",
+            "Machine": snapshot.node,
+            "TotalSlots": snapshot.total_slots,
+            "FreeSlots": snapshot.free_slots,
+            "PhiDevices": len(snapshot.devices),
+            "PhiDevicesFree": snapshot.devices_free,
+            "PhiMemory": float(memory),
+            "PhiFreeMemory": float(free_declared),
+        }
+    )
+    # Machines accept any job whose declared memory fits one card.
+    ad.set_expr("Requirements", "TARGET.RequestPhiMemory <= MY.PhiMemory")
+    return ad

@@ -1,0 +1,42 @@
+"""The collector: central-manager registry of node state.
+
+Real Condor nodes push periodic ClassAd updates to the collector; the
+negotiator then works from the collector's (slightly stale) view. We
+model the pull at the start of each negotiation cycle, which corresponds
+to updates arriving just in time — the staleness that matters for the
+paper (dispatch waiting for the next cycle) lives in the negotiator.
+"""
+
+from __future__ import annotations
+
+from .ads import MachineSnapshot
+from .startd import Startd
+
+
+class Collector:
+    """Registry of startds; serves fresh snapshots to the negotiator."""
+
+    def __init__(self) -> None:
+        self._startds: dict[str, Startd] = {}
+
+    def register(self, startd: Startd) -> None:
+        if startd.name in self._startds:
+            raise ValueError(f"node {startd.name!r} already registered")
+        self._startds[startd.name] = startd
+
+    def startd(self, name: str) -> Startd:
+        return self._startds[name]
+
+    @property
+    def startds(self) -> list[Startd]:
+        return list(self._startds.values())
+
+    def snapshots(self) -> list[MachineSnapshot]:
+        """Current state of every node, in registration order."""
+        return [s.snapshot() for s in self._startds.values()]
+
+    def __len__(self) -> int:
+        return len(self._startds)
+
+    def __repr__(self) -> str:
+        return f"<Collector nodes={len(self._startds)}>"

@@ -1,0 +1,311 @@
+"""The negotiator: periodic FIFO matchmaking between jobs and machines.
+
+Every ``cycle_interval`` simulated seconds the negotiator pulls fresh
+machine snapshots from the collector, walks the pending queue in FIFO
+order (§II-D), and matches each job against the nodes using symmetric
+ClassAd matchmaking. Resources are deducted from the cycle's snapshots as
+matches are made, so one cycle can fill many slots consistently.
+
+Placement *within* the matched set is a policy object — this is where the
+paper's three configurations differ at the cluster level:
+
+* :class:`ExclusivePlacement` (MC): a job takes a whole free coprocessor.
+* :class:`RandomPlacement` (MCC): "jobs are selected randomly at the
+  cluster level: they are packed arbitrarily" — any node with a free host
+  slot, chosen uniformly at random; COSMIC makes it safe at the node.
+* :class:`PinnedPlacement` (MCCK): jobs arrive pre-pinned by the external
+  knapsack scheduler (via qedit); the negotiator merely honours the pins.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Optional
+
+from ..sim import Environment
+from .ads import MachineSnapshot, machine_ad
+from .classad import symmetric_match
+from .collector import Collector
+from .schedd import JobRecord, Schedd
+
+
+class PlacementPolicy:
+    """Chooses a (node, device, exclusive) among the matched snapshots."""
+
+    #: Whether jobs submitted under this policy may share coprocessors.
+    sharing = True
+    #: Whether submit ads require advertised free device memory.
+    memory_aware = True
+
+    def exhausted(self, snapshots: list[MachineSnapshot]) -> bool:
+        """True when no pending job could possibly be placed this cycle."""
+        return all(s.free_slots <= 0 for s in snapshots)
+
+    def place(
+        self,
+        record: JobRecord,
+        candidates: list[MachineSnapshot],
+    ) -> Optional[tuple[MachineSnapshot, Optional[int], bool]]:
+        raise NotImplementedError
+
+    def prefilter(self, record: JobRecord, snapshots: list[MachineSnapshot]) -> bool:
+        """Cheap necessary condition before full ClassAd matchmaking.
+
+        The analogue of Condor's autocluster optimization: skip jobs that
+        cannot possibly match this cycle without paying for expression
+        evaluation against every machine.
+        """
+        return True
+
+    def deduct(
+        self,
+        snapshot: MachineSnapshot,
+        device_index: Optional[int],
+        exclusive: bool,
+        declared_mb: float,
+    ) -> None:
+        """Update the cycle snapshot after a successful match."""
+        snapshot.free_slots -= 1
+        if device_index is None:
+            return
+        for device in snapshot.devices:
+            if device.index == device_index:
+                if exclusive:
+                    device.claimed_exclusive = True
+                else:
+                    device.resident_jobs += 1
+                    device.free_declared_mb = max(
+                        0.0, device.free_declared_mb - declared_mb
+                    )
+                return
+
+
+class ExclusivePlacement(PlacementPolicy):
+    """MC baseline: dedicate one whole coprocessor per job (first fit)."""
+
+    sharing = False
+
+    def exhausted(self, snapshots: list[MachineSnapshot]) -> bool:
+        return not any(
+            s.free_slots > 0 and s.first_free_device() is not None
+            for s in snapshots
+        )
+
+    def place(self, record, candidates):
+        for snapshot in candidates:
+            if snapshot.free_slots <= 0:
+                continue
+            device = snapshot.first_free_device()
+            if device is not None:
+                return snapshot, device.index, True
+        return None
+
+
+class RandomPlacement(PlacementPolicy):
+    """MCC: uniform-random node among those that can hold the job.
+
+    "Jobs are selected randomly at the cluster level: they are packed
+    arbitrarily to Xeon Phi coprocessors" (§V) — but Condor still tracks
+    the advertised free device memory, so a candidate needs a device with
+    enough unreserved declared memory and a free host slot.
+    """
+
+    def __init__(self, rng: random.Random, memory_aware: bool = False) -> None:
+        self.rng = rng
+        self.memory_aware = memory_aware
+
+    def place(self, record, candidates):
+        declared = record.profile.declared_memory_mb
+        viable: list[tuple] = []
+        for snapshot in candidates:
+            if snapshot.free_slots <= 0:
+                continue
+            fitting = [
+                d
+                for d in snapshot.devices
+                if not d.claimed_exclusive
+                and (not self.memory_aware or d.free_declared_mb >= declared)
+            ]
+            if fitting:
+                viable.append((snapshot, fitting))
+        if not viable:
+            return None
+        snapshot, fitting = self.rng.choice(viable)
+        device = self.rng.choice(fitting)
+        return snapshot, device.index, False
+
+    def prefilter(self, record, snapshots):
+        declared = record.profile.declared_memory_mb
+        return any(
+            s.free_slots > 0
+            and any(
+                not d.claimed_exclusive
+                and (not self.memory_aware or d.free_declared_mb >= declared)
+                for d in s.devices
+            )
+            for s in snapshots
+        )
+
+
+class BestFitPlacement(PlacementPolicy):
+    """A stronger memory-aware heuristic than random: best fit.
+
+    Not in the paper — used as an extra ablation baseline between MCC's
+    random placement and MCCK's knapsack: place each job on the device
+    whose free declared memory leaves the *least* slack, tightening the
+    packing without any look-ahead over the pending set.
+    """
+
+    def place(self, record, candidates):
+        declared = record.profile.declared_memory_mb
+        best = None
+        for snapshot in candidates:
+            if snapshot.free_slots <= 0:
+                continue
+            for device in snapshot.devices:
+                if device.claimed_exclusive:
+                    continue
+                slack = device.free_declared_mb - declared
+                if slack < 0:
+                    continue
+                if best is None or slack < best[0]:
+                    best = (slack, snapshot, device)
+        if best is None:
+            return None
+        _slack, snapshot, device = best
+        return snapshot, device.index, False
+
+    def prefilter(self, record, snapshots):
+        declared = record.profile.declared_memory_mb
+        return any(
+            s.free_slots > 0
+            and any(
+                not d.claimed_exclusive and d.free_declared_mb >= declared
+                for d in s.devices
+            )
+            for s in snapshots
+        )
+
+
+class PinnedPlacement(PlacementPolicy):
+    """MCCK: honour the external scheduler's node/device pins.
+
+    A pinned job's Requirements only match its assigned node, so the
+    candidate list is that node (or empty). The device comes from the
+    ``AssignedPhiDevice`` attribute written alongside the pin.
+    """
+
+    def place(self, record, candidates):
+        device_attr = record.ad.evaluate("AssignedPhiDevice")
+        device_index = int(device_attr) if isinstance(device_attr, (int, float)) else 0
+        for snapshot in candidates:
+            if snapshot.free_slots > 0:
+                return snapshot, device_index, False
+        return None
+
+
+class Negotiator:
+    """Runs negotiation cycles as a simulation process."""
+
+    def __init__(
+        self,
+        env: Environment,
+        schedd: Schedd,
+        collector: Collector,
+        policy: PlacementPolicy,
+        cycle_interval: float = 15.0,
+        reschedule_on_completion: bool = False,
+        reschedule_delay: float = 1.0,
+    ) -> None:
+        """``reschedule_on_completion`` models ``condor_reschedule``: a
+        job completion prompts an extra negotiation cycle after
+        ``reschedule_delay`` seconds instead of waiting for the periodic
+        timer — the knob that shrinks the integration latency the paper
+        blames for MCCK's overhead on unfavourable distributions."""
+        if cycle_interval <= 0:
+            raise ValueError("cycle_interval must be positive")
+        if reschedule_delay < 0:
+            raise ValueError("reschedule_delay must be non-negative")
+        self.env = env
+        self.schedd = schedd
+        self.collector = collector
+        self.policy = policy
+        self.cycle_interval = cycle_interval
+        self.reschedule_on_completion = reschedule_on_completion
+        self.reschedule_delay = reschedule_delay
+        self.cycles_run = 0
+        self.matches_made = 0
+        self._proc = None
+        self._reschedule_pending = False
+
+    def start(self) -> None:
+        """Begin periodic negotiation (call once, before env.run)."""
+        if self._proc is not None:
+            raise RuntimeError("negotiator already started")
+        self._proc = self.env.process(self._loop(), name="negotiator")
+        if self.reschedule_on_completion:
+            self.schedd.completion_listeners.append(self._on_completion)
+
+    def _on_completion(self, _record) -> None:
+        if self._reschedule_pending:
+            return
+        self._reschedule_pending = True
+        self.env.process(self._reschedule(), name="negotiator-reschedule")
+
+    def _reschedule(self):
+        if self.reschedule_delay > 0:
+            yield self.env.timeout(self.reschedule_delay)
+        else:
+            yield self.env.timeout(0)
+        self._reschedule_pending = False
+        self.negotiate_once()
+
+    def _loop(self):
+        while True:
+            self.negotiate_once()
+            yield self.env.timeout(self.cycle_interval)
+
+    def negotiate_once(self) -> int:
+        """One negotiation cycle; returns the number of matches made."""
+        self.cycles_run += 1
+        snapshots = self.collector.snapshots()
+        # Machine ads are rebuilt only when a match changes a snapshot.
+        ads = {id(snapshot): machine_ad(snapshot) for snapshot in snapshots}
+        matched = 0
+        for record in self.schedd.pending():
+            if self.policy.exhausted(snapshots):
+                break
+            if not self.policy.prefilter(record, snapshots):
+                continue
+            placement = self._match(record, snapshots, ads)
+            if placement is None:
+                continue
+            snapshot, device_index, exclusive = placement
+            self.policy.deduct(
+                snapshot,
+                device_index,
+                exclusive,
+                record.profile.declared_memory_mb,
+            )
+            ads[id(snapshot)] = machine_ad(snapshot)
+            startd = self.collector.startd(snapshot.node)
+            startd.start_job(record, device_index, exclusive)
+            matched += 1
+        self.matches_made += matched
+        return matched
+
+    def _match(self, record: JobRecord, snapshots, ads):
+        candidates = [
+            snapshot
+            for snapshot in snapshots
+            if symmetric_match(record.ad, ads[id(snapshot)])
+        ]
+        if not candidates:
+            return None
+        return self.policy.place(record, candidates)
+
+    def __repr__(self) -> str:
+        return (
+            f"<Negotiator cycles={self.cycles_run} matches={self.matches_made} "
+            f"interval={self.cycle_interval}>"
+        )

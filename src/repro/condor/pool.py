@@ -1,0 +1,89 @@
+"""Pool assembly: central manager + compute nodes, wired and ready to run."""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from ..sim import Environment
+from ..workloads.profiles import JobProfile
+from .collector import Collector
+from .negotiator import Negotiator, PlacementPolicy
+from .schedd import Schedd
+from .startd import NodeExecutor, Startd
+
+
+class CondorPool:
+    """A complete Condor pool over a set of node executors.
+
+    The pool owns the schedd, collector, per-node startds, and the
+    negotiator; jobs are submitted through :meth:`submit` and the whole
+    thing runs on the shared simulation environment.
+    """
+
+    def __init__(
+        self,
+        env: Environment,
+        executors: Sequence[NodeExecutor],
+        policy: PlacementPolicy,
+        slots_per_node: int = 16,
+        cycle_interval: float = 15.0,
+        dispatch_latency: float = 1.0,
+        reschedule_on_completion: bool = False,
+    ) -> None:
+        if not executors:
+            raise ValueError("a pool needs at least one node")
+        self.env = env
+        self.policy = policy
+        self.schedd = Schedd(env)
+        self.collector = Collector()
+        self.startds: list[Startd] = []
+        for executor in executors:
+            startd = Startd(
+                env,
+                self.schedd,
+                executor,
+                slots=slots_per_node,
+                dispatch_latency=dispatch_latency,
+            )
+            self.collector.register(startd)
+            self.startds.append(startd)
+        self.negotiator = Negotiator(
+            env,
+            self.schedd,
+            self.collector,
+            policy,
+            cycle_interval,
+            reschedule_on_completion=reschedule_on_completion,
+        )
+
+    def submit(self, profiles: Sequence[JobProfile]) -> None:
+        """Queue jobs; the submit-file style follows the pool's policy."""
+        for profile in profiles:
+            self.schedd.submit(
+                profile,
+                sharing=self.policy.sharing,
+                memory_aware=self.policy.memory_aware,
+            )
+
+    def start(self) -> None:
+        """Begin negotiation cycles."""
+        self.negotiator.start()
+
+    def run_to_completion(self, limit: Optional[float] = None) -> float:
+        """Start the pool, run until the queue drains; returns makespan."""
+        if self.schedd.total_jobs == 0:
+            raise ValueError("no jobs submitted")
+        self.start()
+        done = self.schedd.all_done()
+        if limit is not None:
+            result = self.env.run(until=self.env.any_of([done, self.env.timeout(limit)]))
+            if not done.triggered:
+                raise TimeoutError(
+                    f"pool did not drain within {limit} simulated seconds"
+                )
+        else:
+            self.env.run(until=done)
+        return self.schedd.makespan()
+
+    def __repr__(self) -> str:
+        return f"<CondorPool nodes={len(self.startds)} {self.schedd!r}>"

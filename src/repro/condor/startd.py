@@ -1,0 +1,142 @@
+"""The startd: a compute node's slot manager and job starter.
+
+Each node exposes host *slots* (one job per slot, §IV-D1) and binds the
+Condor layer to the node's execution engine. Starting a job reproduces
+the shadow/starter handshake as a fixed dispatch latency, then drives the
+node executor (MPSS + optional COSMIC) to completion and reports back to
+the schedd.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Protocol
+
+from ..mpss.runtime import JobRunResult
+from ..sim import Environment
+from ..workloads.profiles import JobProfile
+from .ads import DeviceSnapshot, MachineSnapshot
+from .schedd import JobRecord, Schedd
+
+
+class NodeExecutor(Protocol):
+    """What the startd needs from the node (implemented by ComputeNode)."""
+
+    name: str
+
+    def execute(
+        self, profile: JobProfile, device_index: Optional[int], exclusive: bool
+    ):
+        """Generator running the job; returns a JobRunResult."""
+
+    def device_states(self) -> list[DeviceSnapshot]:
+        """Current per-device free declared memory / residency."""
+
+
+class Startd:
+    """Slot accounting and the starter process for one node.
+
+    Parameters
+    ----------
+    env, schedd:
+        Simulation environment and the queue to report completions to.
+    executor:
+        The node's execution engine.
+    slots:
+        Host slots (the paper's nodes expose one slot per host core pair;
+        we default to 16 = 2 sockets x 8 cores).
+    dispatch_latency:
+        Simulated seconds for the shadow/starter handshake and input file
+        transfer before the job begins executing.
+    """
+
+    def __init__(
+        self,
+        env: Environment,
+        schedd: Schedd,
+        executor: NodeExecutor,
+        slots: int = 16,
+        dispatch_latency: float = 1.0,
+    ) -> None:
+        if slots <= 0:
+            raise ValueError("slots must be positive")
+        if dispatch_latency < 0:
+            raise ValueError("dispatch_latency must be non-negative")
+        self.env = env
+        self.schedd = schedd
+        self.executor = executor
+        self.slots = slots
+        self.dispatch_latency = dispatch_latency
+        self._busy_slots = 0
+        self._exclusive_claims: set[int] = set()
+        self.started_jobs = 0
+
+    @property
+    def name(self) -> str:
+        return self.executor.name
+
+    @property
+    def free_slots(self) -> int:
+        return self.slots - self._busy_slots
+
+    def snapshot(self) -> MachineSnapshot:
+        """The node's negotiation-time state (collector update)."""
+        devices = []
+        for state in self.executor.device_states():
+            devices.append(
+                DeviceSnapshot(
+                    index=state.index,
+                    memory_mb=state.memory_mb,
+                    free_declared_mb=state.free_declared_mb,
+                    resident_jobs=state.resident_jobs,
+                    hardware_threads=state.hardware_threads,
+                    claimed_exclusive=state.index in self._exclusive_claims,
+                )
+            )
+        return MachineSnapshot(
+            node=self.name,
+            total_slots=self.slots,
+            free_slots=self.free_slots,
+            devices=devices,
+        )
+
+    def start_job(
+        self,
+        record: JobRecord,
+        device_index: Optional[int],
+        exclusive: bool,
+    ) -> None:
+        """Claim a slot (and optionally a device) and launch the starter."""
+        if self.free_slots <= 0:
+            raise RuntimeError(f"{self.name}: no free slots")
+        if exclusive:
+            if device_index is None:
+                raise ValueError("exclusive start requires a device index")
+            if device_index in self._exclusive_claims:
+                raise RuntimeError(
+                    f"{self.name}: device {device_index} already claimed"
+                )
+            self._exclusive_claims.add(device_index)
+        self._busy_slots += 1
+        self.started_jobs += 1
+        self.schedd.mark_running(record.job_id, self.name, device_index)
+        self.env.process(
+            self._starter(record, device_index, exclusive),
+            name=f"starter:{record.job_id}@{self.name}",
+        )
+
+    def _starter(self, record: JobRecord, device_index, exclusive):
+        try:
+            if self.dispatch_latency > 0:
+                yield self.env.timeout(self.dispatch_latency)
+            result = yield from self.executor.execute(
+                record.profile, device_index, exclusive
+            )
+        finally:
+            self._busy_slots -= 1
+            if exclusive and device_index is not None:
+                self._exclusive_claims.discard(device_index)
+        assert isinstance(result, JobRunResult)
+        self.schedd.mark_completed(record.job_id, result)
+
+    def __repr__(self) -> str:
+        return f"<Startd {self.name} slots={self.free_slots}/{self.slots}>"

@@ -1,0 +1,192 @@
+"""Condor submit-description files and the classic ClassAd text format.
+
+The paper's users interact with the system through ordinary Condor
+submit files ("Each job specifies its preferences for the number of Xeon
+Phi devices and memory in its job script", §IV-D1). This module parses
+that surface:
+
+* :func:`parse_submit` — the ``attribute = value`` submit-description
+  format, with ``queue [N]`` statements producing one job ad per queued
+  instance and ``$(Process)`` macro expansion;
+* :func:`parse_classad_text` / :func:`format_classad` — the old-style
+  one-attribute-per-line ClassAd serialization Condor tools print, so
+  ads round-trip through text.
+
+Submit-file attributes understood specially (case-insensitive, matching
+the resource-request convention):
+
+* ``request_phi_devices``, ``request_phi_memory`` (MB),
+  ``request_phi_threads`` — the paper's two user-declared quantities
+  plus the device count;
+* ``requirements`` — stored as an expression;
+* everything else is stored verbatim (strings stay strings, numbers
+  become numbers).
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Optional
+
+from .classad import ClassAd, ClassAdError, parse
+
+
+class SubmitError(Exception):
+    """Malformed submit description."""
+
+
+_LINE_RE = re.compile(r"^\s*([A-Za-z_][A-Za-z0-9_.]*)\s*=\s*(.*?)\s*$")
+_QUEUE_RE = re.compile(r"^\s*queue(?:\s+(\d+))?\s*$", re.IGNORECASE)
+_COMMENT_RE = re.compile(r"^\s*(#.*)?$")
+
+#: Submit keys that are expressions rather than literals.
+_EXPRESSION_KEYS = {"requirements", "rank"}
+
+#: Canonical ad attribute for each recognized submit key.
+_RENAMES = {
+    "request_phi_devices": "RequestPhiDevices",
+    "request_phi_memory": "RequestPhiMemory",
+    "request_phi_threads": "RequestPhiThreads",
+    "executable": "Cmd",
+    "arguments": "Args",
+}
+
+
+def _coerce(raw: str):
+    """Submit values: quoted strings stay strings; numbers become numbers;
+    booleans become booleans; everything else is a verbatim string."""
+    text = raw.strip()
+    if len(text) >= 2 and text[0] == '"' and text[-1] == '"':
+        return text[1:-1]
+    lowered = text.lower()
+    if lowered == "true":
+        return True
+    if lowered == "false":
+        return False
+    try:
+        return int(text)
+    except ValueError:
+        pass
+    try:
+        return float(text)
+    except ValueError:
+        pass
+    return text
+
+
+def parse_submit(text: str, cluster_id: int = 1) -> list[ClassAd]:
+    """Parse a submit description into one job ad per queued instance.
+
+    ``$(Process)`` and ``$(Cluster)`` macros are expanded in string
+    values, as ``condor_submit`` does.
+    """
+    pending: dict[str, tuple[str, bool]] = {}
+    ads: list[ClassAd] = []
+    process = 0
+
+    for lineno, line in enumerate(text.splitlines(), start=1):
+        if _COMMENT_RE.match(line):
+            continue
+        queue_match = _QUEUE_RE.match(line)
+        if queue_match:
+            count = int(queue_match.group(1) or 1)
+            if count <= 0:
+                raise SubmitError(f"line {lineno}: queue count must be positive")
+            for _ in range(count):
+                ads.append(_materialize(pending, cluster_id, process))
+                process += 1
+            continue
+        attr_match = _LINE_RE.match(line)
+        if attr_match is None:
+            raise SubmitError(f"line {lineno}: cannot parse {line.strip()!r}")
+        key, value = attr_match.group(1).lower(), attr_match.group(2)
+        pending[key] = (value, key in _EXPRESSION_KEYS)
+
+    if not ads:
+        raise SubmitError("submit description contains no 'queue' statement")
+    return ads
+
+
+def _materialize(pending: dict[str, tuple[str, bool]], cluster: int,
+                 process: int) -> ClassAd:
+    ad = ClassAd({"ClusterId": cluster, "ProcId": process})
+    for key, (raw, is_expression) in pending.items():
+        name = _RENAMES.get(key, _camel(key))
+        expanded = raw.replace("$(Process)", str(process)).replace(
+            "$(Cluster)", str(cluster)
+        )
+        if is_expression:
+            try:
+                ad.set_expr(name, expanded)
+            except ClassAdError as exc:
+                raise SubmitError(f"bad expression for {key}: {exc}") from exc
+        else:
+            ad[name] = _coerce(expanded)
+    return ad
+
+
+def _camel(key: str) -> str:
+    return "".join(part.capitalize() for part in key.split("_"))
+
+
+# ---------------------------------------------------------------------------
+# Old-style ClassAd text serialization
+# ---------------------------------------------------------------------------
+
+
+def format_classad(ad: ClassAd) -> str:
+    """Serialize an ad in the classic one-attribute-per-line format.
+
+    Expressions that were stored as literals are rendered as literals;
+    parsed expressions are *not* reconstructable in general, so this
+    formatter renders the evaluated value for non-literal attributes —
+    matching what ``condor_status -long`` shows for a static ad.
+    """
+    from .classad import ERROR, Literal, UNDEFINED
+
+    lines = []
+    for name in ad.keys():
+        expr = ad.get_expr(name)
+        if isinstance(expr, Literal):
+            lines.append(f"{name} = {_render_value(expr.value)}")
+        else:
+            value = ad.evaluate(name)
+            if value is UNDEFINED or value is ERROR:
+                lines.append(f"{name} = {value!r}".replace("'", ""))
+            else:
+                lines.append(f"{name} = {_render_value(value)}")
+    return "\n".join(lines)
+
+
+def _render_value(value) -> str:
+    from .classad import ERROR, UNDEFINED
+
+    if value is UNDEFINED:
+        return "undefined"
+    if value is ERROR:
+        return "error"
+    if isinstance(value, bool):
+        return "true" if value else "false"
+    if isinstance(value, str):
+        escaped = value.replace("\\", "\\\\").replace('"', '\\"')
+        return f'"{escaped}"'
+    return repr(value)
+
+
+def parse_classad_text(text: str) -> ClassAd:
+    """Parse the classic one-attribute-per-line ClassAd format."""
+    ad = ClassAd()
+    for lineno, line in enumerate(text.splitlines(), start=1):
+        if _COMMENT_RE.match(line):
+            continue
+        match = _LINE_RE.match(line)
+        if match is None:
+            raise ClassAdError(f"line {lineno}: cannot parse {line.strip()!r}")
+        name, raw = match.group(1), match.group(2)
+        ad.set_expr(name, raw)
+    return ad
+
+
+def roundtrip(ad: ClassAd) -> ClassAd:
+    """format -> parse; used by tests to check serialization fidelity."""
+    return parse_classad_text(format_classad(ad))

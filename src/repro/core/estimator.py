@@ -1,0 +1,135 @@
+"""Automatic job resource estimation (the paper's declared future work).
+
+§IV-B: "We assume the user provides ... a maximum Xeon Phi memory
+requirement, and a maximum thread requirement. This could be relaxed
+with tools that automatically estimate jobs' resource requirements.
+However that is outside the scope of this paper."
+
+This module implements that tool for the simulated stack: it observes
+completed runs per application and proposes declarations from empirical
+quantiles with a safety margin. Under-declaring gets a job killed by
+COSMIC's container (costly), while over-declaring wastes knapsack
+capacity (reduces concurrency) — the estimator exposes that trade-off
+through its ``quantile`` and ``headroom`` knobs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+import numpy as np
+
+from ..workloads.profiles import JobProfile
+from ..workloads.table1 import quantize_memory
+
+
+@dataclass(frozen=True)
+class ResourceEstimate:
+    """A proposed declaration for one application."""
+
+    app: str
+    memory_mb: float
+    threads: int
+    samples: int
+    observed_peak_mb: float
+
+    def would_cover(self, profile: JobProfile) -> bool:
+        """Whether a job with this declaration survives enforcement."""
+        return (
+            profile.peak_memory_mb <= self.memory_mb
+            and profile.peak_threads <= self.threads
+        )
+
+
+class ResourceEstimator:
+    """Quantile-with-headroom estimator over observed job executions.
+
+    Parameters
+    ----------
+    quantile:
+        Empirical quantile of observed peaks to use (default 0.95).
+    headroom:
+        Multiplicative safety margin on the memory quantile (default
+        10%): new instances may exceed past peaks.
+    quantum_mb:
+        Declarations are rounded up to this quantum (the knapsack's).
+    """
+
+    def __init__(
+        self,
+        quantile: float = 0.95,
+        headroom: float = 0.10,
+        quantum_mb: float = 50.0,
+    ) -> None:
+        if not 0 < quantile <= 1:
+            raise ValueError("quantile must lie in (0, 1]")
+        if headroom < 0:
+            raise ValueError("headroom must be non-negative")
+        if quantum_mb <= 0:
+            raise ValueError("quantum_mb must be positive")
+        self.quantile = quantile
+        self.headroom = headroom
+        self.quantum_mb = quantum_mb
+        self._memory: dict[str, list[float]] = {}
+        self._threads: dict[str, list[int]] = {}
+
+    # -- observation -----------------------------------------------------
+
+    def observe(self, profile: JobProfile) -> None:
+        """Record one completed job's actual peaks."""
+        self._memory.setdefault(profile.app, []).append(profile.peak_memory_mb)
+        self._threads.setdefault(profile.app, []).append(profile.peak_threads)
+
+    def observe_many(self, profiles: list[JobProfile]) -> None:
+        for profile in profiles:
+            self.observe(profile)
+
+    def sample_count(self, app: str) -> int:
+        return len(self._memory.get(app, []))
+
+    # -- estimation --------------------------------------------------------
+
+    def estimate(self, app: str) -> ResourceEstimate:
+        """Propose a declaration for ``app`` from the observed history."""
+        memories = self._memory.get(app)
+        if not memories:
+            raise KeyError(f"no observations for app {app!r}")
+        threads = self._threads[app]
+        mem_q = float(np.quantile(memories, self.quantile))
+        memory = quantize_memory(mem_q * (1.0 + self.headroom), self.quantum_mb)
+        # Threads are discrete and architectural: take the observed max.
+        thread_estimate = int(max(threads))
+        return ResourceEstimate(
+            app=app,
+            memory_mb=memory,
+            threads=thread_estimate,
+            samples=len(memories),
+            observed_peak_mb=float(max(memories)),
+        )
+
+    def declare(self, profile: JobProfile) -> JobProfile:
+        """Rewrite a job's declarations using the estimate for its app.
+
+        Falls back to the job's own declaration when the app is unknown.
+        """
+        try:
+            estimate = self.estimate(profile.app)
+        except KeyError:
+            return profile
+        from dataclasses import replace
+
+        return replace(
+            profile,
+            declared_memory_mb=max(estimate.memory_mb, self.quantum_mb),
+            declared_threads=max(estimate.threads, 1),
+        )
+
+    def coverage(self, app: str, profiles: list[JobProfile]) -> float:
+        """Fraction of ``profiles`` the current estimate would cover."""
+        estimate = self.estimate(app)
+        relevant = [p for p in profiles if p.app == app]
+        if not relevant:
+            return 1.0
+        covered = sum(1 for p in relevant if estimate.would_cover(p))
+        return covered / len(relevant)

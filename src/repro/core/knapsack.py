@@ -1,0 +1,260 @@
+"""0-1 knapsack solvers for coprocessor packing.
+
+The paper models every Xeon Phi as a knapsack whose capacity is the
+card's physical memory, packs jobs (items, weight = declared memory)
+with the standard dynamic-programming method, and exploits the fact that
+memory requests quantize well: "if jobs can request memory in increments
+of 50 MB, then w is 8GB/50MB = 160", making the DP effectively linear in
+the number of jobs (§IV-C).
+
+Three exact solvers are provided:
+
+* :func:`knapsack_1d` — the paper's plain memory-capacity DP;
+* :func:`knapsack_cardinality` — memory x item-count DP, used to respect
+  a node's host-slot bound (one job per Condor slot);
+* :func:`knapsack_thread_capped` — memory x thread DP, realizing the
+  paper's "knapsack value is zero when total threads exceed hardware"
+  rule as a hard second dimension;
+
+plus :func:`brute_force` for property-testing the DPs on small inputs.
+
+All solvers quantize weights with ``ceil`` so a returned packing never
+exceeds the true capacity.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+import numpy as np
+
+#: The paper's memory quantum: "increments of 50MB".
+DEFAULT_QUANTUM_MB = 50.0
+
+_TIE_EPS = 1e-12
+
+
+@dataclass(frozen=True)
+class Item:
+    """One packable job: declared memory (MB), value, declared threads."""
+
+    weight: float
+    value: float
+    threads: int = 0
+
+    def __post_init__(self) -> None:
+        if self.weight < 0:
+            raise ValueError("weight must be non-negative")
+        if self.value < 0:
+            raise ValueError("value must be non-negative")
+        if self.threads < 0:
+            raise ValueError("threads must be non-negative")
+
+
+@dataclass(frozen=True)
+class PackResult:
+    """Solution of one knapsack: chosen item indices and totals."""
+
+    indices: tuple[int, ...]
+    total_value: float
+    total_weight: float
+    total_threads: int
+
+    @property
+    def count(self) -> int:
+        return len(self.indices)
+
+
+def _quantize(weight: float, quantum: float) -> int:
+    """Conservative (round-up) quantization of a weight."""
+    return int(math.ceil(weight / quantum - 1e-12))
+
+
+def _result(items: Sequence[Item], chosen: list[int]) -> PackResult:
+    chosen_sorted = tuple(sorted(chosen))
+    return PackResult(
+        indices=chosen_sorted,
+        total_value=sum(items[i].value for i in chosen_sorted),
+        total_weight=sum(items[i].weight for i in chosen_sorted),
+        total_threads=sum(items[i].threads for i in chosen_sorted),
+    )
+
+
+def knapsack_1d(
+    items: Sequence[Item],
+    capacity: float,
+    quantum: float = DEFAULT_QUANTUM_MB,
+) -> PackResult:
+    """The paper's DP: maximize total value within the memory capacity.
+
+    O(n * w) with w = capacity / quantum, vectorized over the capacity
+    axis with NumPy.
+    """
+    _validate(capacity, quantum)
+    n = len(items)
+    W = int(capacity // quantum)
+    if n == 0:
+        return _result(items, [])
+
+    weights = [_quantize(item.weight, quantum) for item in items]
+    dp = np.zeros(W + 1)
+    take = np.zeros((n, W + 1), dtype=bool)
+    for i, item in enumerate(items):
+        w = weights[i]
+        if w > W:
+            continue
+        if w == 0:
+            if item.value > 0:
+                dp += item.value
+                take[i, :] = True
+            continue
+        candidate = np.full(W + 1, -np.inf)
+        candidate[w:] = dp[: W + 1 - w] + item.value
+        better = candidate > dp + _TIE_EPS
+        take[i] = better
+        np.copyto(dp, candidate, where=better)
+
+    chosen: list[int] = []
+    m = W
+    for i in range(n - 1, -1, -1):
+        if take[i, m]:
+            chosen.append(i)
+            m -= weights[i]
+    return _result(items, chosen)
+
+
+def knapsack_cardinality(
+    items: Sequence[Item],
+    capacity: float,
+    max_items: int,
+    quantum: float = DEFAULT_QUANTUM_MB,
+) -> PackResult:
+    """Memory-capacity DP with a hard bound on the number of items.
+
+    The extra dimension models the host-slot limit: a node can only run
+    as many concurrent jobs as it has free Condor slots.
+    """
+    _validate(capacity, quantum)
+    if max_items < 0:
+        raise ValueError("max_items must be non-negative")
+    n = len(items)
+    W = int(capacity // quantum)
+    K = min(max_items, n)
+    if n == 0 or K == 0:
+        return _result(items, [])
+
+    weights = [_quantize(item.weight, quantum) for item in items]
+    dp = np.full((W + 1, K + 1), -np.inf)
+    dp[:, 0] = 0.0
+    take = np.zeros((n, W + 1, K + 1), dtype=bool)
+    for i, item in enumerate(items):
+        w = weights[i]
+        if w > W:
+            continue
+        candidate = np.full((W + 1, K + 1), -np.inf)
+        candidate[w:, 1:] = dp[: W + 1 - w, :K] + item.value
+        better = candidate > dp + _TIE_EPS
+        take[i] = better
+        np.copyto(dp, candidate, where=better)
+
+    # Best cell in the last row (capacity W, any count).
+    best_k = int(np.argmax(dp[W]))
+    chosen: list[int] = []
+    m, k = W, best_k
+    for i in range(n - 1, -1, -1):
+        if take[i, m, k]:
+            chosen.append(i)
+            m -= weights[i]
+            k -= 1
+    return _result(items, chosen)
+
+
+def knapsack_thread_capped(
+    items: Sequence[Item],
+    capacity: float,
+    thread_capacity: int,
+    quantum: float = DEFAULT_QUANTUM_MB,
+    thread_quantum: int = 4,
+) -> PackResult:
+    """Memory x thread DP: packings exceeding the thread budget are
+    infeasible (the literal reading of the paper's zero-value rule)."""
+    _validate(capacity, quantum)
+    if thread_capacity <= 0:
+        raise ValueError("thread_capacity must be positive")
+    if thread_quantum <= 0:
+        raise ValueError("thread_quantum must be positive")
+    n = len(items)
+    W = int(capacity // quantum)
+    T = thread_capacity // thread_quantum
+    if n == 0:
+        return _result(items, [])
+
+    weights = [_quantize(item.weight, quantum) for item in items]
+    threads = [
+        int(math.ceil(item.threads / thread_quantum - 1e-12)) for item in items
+    ]
+    # All-zeros init gives "at most (m, t)" semantics: every cell is
+    # reachable as the empty packing.
+    dp = np.zeros((W + 1, T + 1))
+    take = np.zeros((n, W + 1, T + 1), dtype=bool)
+    for i, item in enumerate(items):
+        w, t = weights[i], threads[i]
+        if w > W or t > T:
+            continue
+        candidate = np.full((W + 1, T + 1), -np.inf)
+        candidate[w:, t:] = (
+            dp[: W + 1 - w, : T + 1 - t] + item.value
+        )
+        better = candidate > dp + _TIE_EPS
+        take[i] = better
+        np.copyto(dp, candidate, where=better)
+
+    best_t = int(np.argmax(dp[W]))
+    chosen: list[int] = []
+    m, tt = W, best_t
+    for i in range(n - 1, -1, -1):
+        if take[i, m, tt]:
+            chosen.append(i)
+            m -= weights[i]
+            tt -= threads[i]
+    return _result(items, chosen)
+
+
+def brute_force(
+    items: Sequence[Item],
+    capacity: float,
+    max_items: Optional[int] = None,
+    thread_capacity: Optional[int] = None,
+) -> PackResult:
+    """Exhaustive reference solver (exact weights, no quantization).
+
+    Exponential — for tests on small instances only.
+    """
+    n = len(items)
+    if n > 20:
+        raise ValueError("brute_force is limited to 20 items")
+    best: Optional[PackResult] = None
+    for mask in range(1 << n):
+        chosen = [i for i in range(n) if mask >> i & 1]
+        weight = sum(items[i].weight for i in chosen)
+        if weight > capacity:
+            continue
+        if max_items is not None and len(chosen) > max_items:
+            continue
+        threads = sum(items[i].threads for i in chosen)
+        if thread_capacity is not None and threads > thread_capacity:
+            continue
+        value = sum(items[i].value for i in chosen)
+        if best is None or value > best.total_value + _TIE_EPS:
+            best = PackResult(tuple(chosen), value, weight, threads)
+    assert best is not None  # the empty set is always feasible
+    return best
+
+
+def _validate(capacity: float, quantum: float) -> None:
+    if capacity < 0:
+        raise ValueError("capacity must be non-negative")
+    if quantum <= 0:
+        raise ValueError("quantum must be positive")

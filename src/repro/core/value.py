@@ -1,0 +1,86 @@
+"""Job value functions for the knapsack formulation.
+
+The paper sets each job's value so that it *decreases with its thread
+count* (Eq. 1)::
+
+    v_i = 1 - (t_i / 240)^2
+
+so that maximizing knapsack value packs many low-thread jobs together —
+the concurrency proxy. Alternative functions are provided for the
+ablation study (experiment A1 in DESIGN.md).
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+#: Maps a job's declared thread count to its knapsack value.
+ValueFunction = Callable[[int], float]
+
+
+def paper_value(threads: int, thread_limit: int = 240) -> float:
+    """Eq. 1 of the paper: quadratic penalty on threads."""
+    if threads < 0:
+        raise ValueError("threads must be non-negative")
+    return 1.0 - (threads / thread_limit) ** 2
+
+
+def paper_value_floored(
+    threads: int, thread_limit: int = 240, floor: float = 0.05
+) -> float:
+    """Eq. 1 with a small positive floor.
+
+    Eq. 1 assigns *zero* value to a full-card (240-thread) job, so the DP
+    is indifferent to packing it at all — yet the paper's own Fig. 2 shows
+    two such jobs sharing productively through their host gaps. The floor
+    keeps every job worth packing while preserving Eq. 1's preference
+    ordering. This is the default used by the MCCK scheduler.
+    """
+    return max(paper_value(threads, thread_limit), floor)
+
+
+def linear_value(threads: int, thread_limit: int = 240) -> float:
+    """Linear thread penalty: v = 1 - t/T (gentler than Eq. 1)."""
+    if threads < 0:
+        raise ValueError("threads must be non-negative")
+    return max(1.0 - threads / thread_limit, 0.0)
+
+
+def count_first_value(threads: int, thread_limit: int = 240) -> float:
+    """Count-dominant value: v = 1 + Eq.1.
+
+    Every job is worth at least 1, so maximizing total value maximizes
+    the *number* of packed jobs first and uses Eq. 1 only to break ties —
+    the most literal reading of "pack as many jobs as possible".
+    """
+    return 1.0 + paper_value(threads, thread_limit)
+
+
+def constant_value(threads: int, thread_limit: int = 240) -> float:
+    """Thread-blind value: pure job-count maximization."""
+    if threads < 0:
+        raise ValueError("threads must be non-negative")
+    return 1.0
+
+
+_REGISTRY: dict[str, ValueFunction] = {
+    "paper": paper_value,
+    "paper-floored": paper_value_floored,
+    "linear": linear_value,
+    "count-first": count_first_value,
+    "constant": constant_value,
+}
+
+
+def get_value_function(name: str) -> ValueFunction:
+    """Look a value function up by name (for CLI / experiment configs)."""
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown value function {name!r}; choose from {sorted(_REGISTRY)}"
+        ) from None
+
+
+def value_function_names() -> list[str]:
+    return sorted(_REGISTRY)

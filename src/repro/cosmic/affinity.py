@@ -1,0 +1,78 @@
+"""Thread-to-core affinitization, COSMIC-style.
+
+COSMIC pins each concurrent offload to its own set of physical cores so
+that within-budget offloads never time-share a core (§IV-D2: two 120-
+thread jobs each get 30 dedicated cores, together saturating the card).
+The allocator below reproduces that: first-fit over a free-core pool,
+disjointness guaranteed by construction.
+"""
+
+from __future__ import annotations
+
+from typing import Hashable
+
+
+class AffinityError(Exception):
+    """Raised when a disjoint core set cannot be provided."""
+
+
+class CoreSetAllocator:
+    """First-fit allocator of disjoint core sets on one card."""
+
+    def __init__(self, cores: int = 60, threads_per_core: int = 4) -> None:
+        if cores <= 0 or threads_per_core <= 0:
+            raise ValueError("cores and threads_per_core must be positive")
+        self.cores = cores
+        self.threads_per_core = threads_per_core
+        self._free: list[int] = list(range(cores))
+        self._assigned: dict[Hashable, tuple[int, ...]] = {}
+
+    @property
+    def free_cores(self) -> int:
+        return len(self._free)
+
+    def assignment_of(self, owner: Hashable) -> tuple[int, ...]:
+        """The core ids currently pinned to ``owner`` (empty if none)."""
+        return self._assigned.get(owner, ())
+
+    def cores_needed(self, threads: int) -> int:
+        if threads <= 0:
+            raise ValueError("threads must be positive")
+        return -(-threads // self.threads_per_core)
+
+    def assign(self, owner: Hashable, threads: int) -> tuple[int, ...]:
+        """Pin ``owner``'s next offload to a disjoint set of cores.
+
+        Raises
+        ------
+        AffinityError
+            If the owner already holds an assignment or the card lacks
+            enough free cores (the caller should have gated on threads).
+        """
+        if owner in self._assigned:
+            raise AffinityError(f"{owner!r} already holds a core set")
+        needed = self.cores_needed(threads)
+        if needed > len(self._free):
+            raise AffinityError(
+                f"need {needed} cores for {owner!r}, only {len(self._free)} free"
+            )
+        taken = tuple(self._free[:needed])
+        del self._free[:needed]
+        self._assigned[owner] = taken
+        return taken
+
+    def release(self, owner: Hashable) -> None:
+        """Return ``owner``'s cores to the free pool."""
+        taken = self._assigned.pop(owner, ())
+        self._free.extend(taken)
+        self._free.sort()
+
+    def verify_disjoint(self) -> bool:
+        """Invariant check: no core is pinned to two owners."""
+        seen: set[int] = set()
+        for cores in self._assigned.values():
+            for core in cores:
+                if core in seen:
+                    return False
+                seen.add(core)
+        return True

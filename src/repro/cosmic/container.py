@@ -1,0 +1,38 @@
+"""Memory-limit enforcement via (simulated) Linux containers.
+
+COSMIC runs each job's device process inside a container whose memory
+limit is the job's *declared* maximum. The knapsack guarantees that the
+sum of declarations fits the card, but it "cannot compensate for a user's
+mistakes such as underestimating the memory of a job" (§IV-D2) — the
+container kills such jobs before they can endanger their co-residents.
+"""
+
+from __future__ import annotations
+
+from ..mpss.runtime import MemoryLimitExceeded
+from ..workloads.profiles import JobProfile
+
+
+class DeclaredMemoryEnforcer:
+    """Kills jobs whose resident memory exceeds their declaration.
+
+    Parameters
+    ----------
+    tolerance:
+        Fractional slack before killing (containers usually allow a small
+        page-accounting fuzz). 0.0 = strict.
+    """
+
+    def __init__(self, tolerance: float = 0.0) -> None:
+        if tolerance < 0:
+            raise ValueError("tolerance must be non-negative")
+        self.tolerance = tolerance
+        self.kills: list[str] = []
+
+    def check(self, profile: JobProfile, resident_mb: float) -> None:
+        limit = profile.declared_memory_mb * (1.0 + self.tolerance)
+        if resident_mb > limit:
+            self.kills.append(profile.job_id)
+            raise MemoryLimitExceeded(
+                profile.job_id, resident_mb, profile.declared_memory_mb
+            )

@@ -1,0 +1,141 @@
+"""COSMIC — node-level middleware enabling safe coprocessor sharing.
+
+One :class:`Cosmic` instance manages one Xeon Phi card and provides the
+three behaviours the paper relies on (§IV-D2):
+
+1. **Job admission by declared memory.** A job's COI process is created
+   only when the sum of admitted declarations fits the card; otherwise
+   the job queues (FIFO) at the node. This is what makes *random*
+   cluster-level placement (the paper's MCC configuration) safe.
+2. **Offload thread gating.** Each offload burst must obtain its threads
+   from a hardware-thread pool before executing, so concurrent offloads
+   never oversubscribe the 240 hardware threads.
+3. **Memory-limit containers.** Jobs that exceed their own declaration
+   are killed (see :mod:`repro.cosmic.container`).
+
+Affinitization (behaviour 3 in the paper's list) is reflected in the
+device's contention model — gated offloads run at full speed on disjoint
+core sets — and is additionally tracked explicitly through a
+:class:`~repro.cosmic.affinity.CoreSetAllocator` for observability.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from ..phi.device import XeonPhi
+from ..sim import Container, ContainerGet, Environment
+from .affinity import CoreSetAllocator
+from .container import DeclaredMemoryEnforcer
+
+
+@dataclass
+class CosmicStats:
+    """Counters exposed for experiments and tests."""
+
+    jobs_admitted: int = 0
+    jobs_released: int = 0
+    offloads_gated: int = 0
+    peak_concurrent_jobs: int = 0
+    peak_gated_threads: int = 0
+
+
+class Cosmic:
+    """Sharing middleware for one coprocessor card."""
+
+    def __init__(
+        self,
+        env: Environment,
+        device: XeonPhi,
+        enforcer: Optional[DeclaredMemoryEnforcer] = None,
+    ) -> None:
+        self.env = env
+        self.device = device
+        spec = device.spec
+        threads = spec.hardware_threads
+        memory = spec.usable_memory_mb
+        # Pools start full; admission draws them down.
+        self._thread_pool = Container(env, capacity=threads, init=threads)
+        self._memory_pool = Container(env, capacity=memory, init=memory)
+        self.enforcer = enforcer if enforcer is not None else DeclaredMemoryEnforcer()
+        self.affinity = CoreSetAllocator(spec.cores, spec.threads_per_core)
+        self.stats = CosmicStats()
+        self._resident_jobs = 0
+
+    # -- job admission (declared memory) -------------------------------------
+
+    @property
+    def free_declared_memory_mb(self) -> float:
+        """Declared-memory headroom still available on this card."""
+        return self._memory_pool.level
+
+    @property
+    def resident_jobs(self) -> int:
+        """Jobs currently admitted to the card."""
+        return self._resident_jobs
+
+    def admit_job(self, declared_memory_mb: float) -> ContainerGet:
+        """Reserve declared memory; the event triggers once it fits.
+
+        Declarations larger than the card are clamped to the card: such a
+        job can only ever run alone, which is the exclusive-allocation
+        behaviour the paper's baseline gives every job.
+        """
+        amount = min(declared_memory_mb, self._memory_pool.capacity)
+        event = self._memory_pool.get(amount)
+        event.callbacks.append(lambda _e: self._on_admit())
+        return event
+
+    def _on_admit(self) -> None:
+        self._resident_jobs += 1
+        self.stats.jobs_admitted += 1
+        self.stats.peak_concurrent_jobs = max(
+            self.stats.peak_concurrent_jobs, self._resident_jobs
+        )
+
+    def release_job(self, declared_memory_mb: float) -> None:
+        """Return a completed (or killed) job's declared memory."""
+        amount = min(declared_memory_mb, self._memory_pool.capacity)
+        self._memory_pool.put(amount)
+        self._resident_jobs -= 1
+        self.stats.jobs_released += 1
+
+    # -- offload gating (hardware threads) ------------------------------------
+
+    def _clamp_threads(self, threads: int) -> int:
+        # Offloads demanding more than the hardware run with the whole
+        # card ("will not be allowed to execute" concurrently, §IV-D2).
+        return min(threads, int(self._thread_pool.capacity))
+
+    def acquire(self, threads: int) -> ContainerGet:
+        """OffloadGate: obtain ``threads`` hardware threads (FIFO)."""
+        if threads <= 0:
+            raise ValueError("threads must be positive")
+        amount = self._clamp_threads(threads)
+        event = self._thread_pool.get(amount)
+        event.callbacks.append(lambda _e: self._on_gate(amount))
+        return event
+
+    def _on_gate(self, amount: int) -> None:
+        self.stats.offloads_gated += 1
+        gated = int(self._thread_pool.capacity - self._thread_pool.level)
+        self.stats.peak_gated_threads = max(self.stats.peak_gated_threads, gated)
+
+    def release(self, threads: int) -> None:
+        """OffloadGate: return previously acquired threads."""
+        if threads <= 0:
+            raise ValueError("threads must be positive")
+        self._thread_pool.put(self._clamp_threads(threads))
+
+    @property
+    def free_threads(self) -> int:
+        """Hardware threads not currently granted to an offload."""
+        return int(self._thread_pool.level)
+
+    def __repr__(self) -> str:
+        return (
+            f"<Cosmic on {self.device.name}: jobs={self._resident_jobs} "
+            f"free_mem={self.free_declared_memory_mb:.0f}MB "
+            f"free_threads={self.free_threads}>"
+        )

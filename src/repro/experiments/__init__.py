@@ -1,0 +1,68 @@
+"""Experiment modules: one per table/figure of the paper, plus ablations.
+
+Run from the command line::
+
+    python -m repro.experiments <name>      # motivation, table2, fig7, ...
+    python -m repro.experiments all
+
+Each module exposes ``run(...)`` returning a structured result and
+``render(result)`` producing the paper-style rows.
+"""
+
+from . import (
+    ablation_cycle,
+    ablation_knapsack,
+    ablation_placement,
+    ablation_value,
+    common,
+    ext_capacity,
+    ext_multidevice,
+    ext_oversubscription,
+    ext_replication,
+    fig7,
+    fig8,
+    fig9,
+    fig10,
+    motivation,
+    table2,
+    table3,
+)
+
+#: Registry used by the CLI and the benchmark harness.
+EXPERIMENTS = {
+    "motivation": motivation,
+    "table2": table2,
+    "table3": table3,
+    "fig7": fig7,
+    "fig8": fig8,
+    "fig9": fig9,
+    "fig10": fig10,
+    "ablation-value": ablation_value,
+    "ablation-knapsack": ablation_knapsack,
+    "ablation-cycle": ablation_cycle,
+    "ablation-placement": ablation_placement,
+    "ext-capacity": ext_capacity,
+    "ext-multidevice": ext_multidevice,
+    "ext-oversubscription": ext_oversubscription,
+    "ext-replication": ext_replication,
+}
+
+__all__ = [
+    "EXPERIMENTS",
+    "ablation_cycle",
+    "ablation_knapsack",
+    "ablation_placement",
+    "ablation_value",
+    "common",
+    "ext_capacity",
+    "ext_multidevice",
+    "ext_oversubscription",
+    "ext_replication",
+    "fig7",
+    "fig8",
+    "fig9",
+    "fig10",
+    "motivation",
+    "table2",
+    "table3",
+]

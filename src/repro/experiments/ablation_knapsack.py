@@ -1,0 +1,67 @@
+"""A2 — ablation: the knapsack's hard thread cap.
+
+The paper makes a packing worthless when its total declared threads
+exceed the 240 hardware threads. COSMIC already prevents *runtime* thread
+oversubscription by gating offloads, so the cap is a cluster-level policy
+choice, not a safety requirement. This ablation compares:
+
+* ``cap`` — the paper's rule (memory x thread DP);
+* ``no-cap`` — memory-only packing; threads only shape the value;
+* ``no-cap/no-slots`` — additionally ignore the host-slot bound.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..cluster import ClusterConfig, run_mcck
+from ..core import DevicePacker
+from ..metrics import format_table
+from ..workloads import generate_synthetic_jobs, generate_table1_jobs
+from .common import DEFAULT_SEED, PAPER_CLUSTER
+
+
+@dataclass
+class KnapsackAblationResult:
+    job_count: int
+    makespans: dict[str, dict[str, float]]  # variant -> workload -> seconds
+
+
+def run(
+    jobs: int = 400,
+    config: ClusterConfig = PAPER_CLUSTER,
+    seed: int = DEFAULT_SEED,
+) -> KnapsackAblationResult:
+    workloads = {
+        "table1": generate_table1_jobs(jobs, seed=seed),
+        "normal": generate_synthetic_jobs(jobs, "normal", seed=seed),
+    }
+    variants = {
+        "cap-240 (paper)": dict(
+            packer=DevicePacker(thread_capacity=240), respect_host_slots=True
+        ),
+        "no-cap": dict(packer=DevicePacker(), respect_host_slots=True),
+        "no-cap/no-slots": dict(packer=DevicePacker(), respect_host_slots=False),
+    }
+    makespans: dict[str, dict[str, float]] = {}
+    for name, kwargs in variants.items():
+        makespans[name] = {
+            workload: run_mcck(job_set, config, **kwargs).makespan
+            for workload, job_set in workloads.items()
+        }
+    return KnapsackAblationResult(job_count=jobs, makespans=makespans)
+
+
+def render(result: KnapsackAblationResult) -> str:
+    rows = [
+        [name, f"{by_wl['table1']:.0f}", f"{by_wl['normal']:.0f}"]
+        for name, by_wl in result.makespans.items()
+    ]
+    return format_table(
+        ["knapsack variant", "Table-I mix (s)", "normal synthetic (s)"],
+        rows,
+        title=(
+            f"A2: MCCK makespan by knapsack constraint variant "
+            f"({result.job_count} jobs, 8 nodes)"
+        ),
+    )

@@ -1,0 +1,65 @@
+"""A4 — ablation: cluster-level placement policy spectrum.
+
+Positions the paper's two sharing configurations on a spectrum of
+cluster-level intelligence, all over identical COSMIC nodes:
+
+* random (the paper's MCC, memory-unaware "packed arbitrarily");
+* random memory-aware (Condor deducts advertised free device memory);
+* best-fit (greedy memory-aware, no look-ahead);
+* knapsack (the paper's MCCK: look-ahead over the whole pending set).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..cluster import (
+    ClusterConfig,
+    run_best_fit,
+    run_mcc,
+    run_mc,
+    run_mcck,
+)
+from ..metrics import format_table, percent_reduction
+from ..workloads import generate_table1_jobs
+from .common import DEFAULT_SEED, PAPER_CLUSTER
+
+
+@dataclass
+class PlacementAblationResult:
+    job_count: int
+    makespans: dict[str, float]
+
+    def reduction(self, name: str) -> float:
+        return percent_reduction(self.makespans["MC"], self.makespans[name])
+
+
+def run(
+    jobs: int = 400,
+    config: ClusterConfig = PAPER_CLUSTER,
+    seed: int = DEFAULT_SEED,
+) -> PlacementAblationResult:
+    job_set = generate_table1_jobs(jobs, seed=seed)
+    makespans = {
+        "MC": run_mc(job_set, config).makespan,
+        "random (MCC)": run_mcc(job_set, config).makespan,
+        "random memory-aware": run_mcc(job_set, config, memory_aware=True).makespan,
+        "best-fit": run_best_fit(job_set, config).makespan,
+        "knapsack (MCCK)": run_mcck(job_set, config).makespan,
+    }
+    return PlacementAblationResult(job_count=jobs, makespans=makespans)
+
+
+def render(result: PlacementAblationResult) -> str:
+    rows = []
+    for name, makespan in result.makespans.items():
+        reduction = "-" if name == "MC" else f"-{result.reduction(name):.0f}%"
+        rows.append([name, f"{makespan:.0f}", reduction])
+    return format_table(
+        ["placement policy", "makespan (s)", "vs MC"],
+        rows,
+        title=(
+            f"A4: makespan by cluster-level placement policy "
+            f"({result.job_count} Table-I jobs, 8 nodes, COSMIC everywhere)"
+        ),
+    )

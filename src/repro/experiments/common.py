@@ -1,0 +1,57 @@
+"""Shared infrastructure for the experiment modules.
+
+Every experiment exposes ``run(...) -> <Result>`` and ``render(result)``;
+results carry the raw numbers, ``render`` prints the paper-style rows.
+``scale`` shrinks job counts for quick benchmark runs (the recorded
+numbers in EXPERIMENTS.md use ``scale=1.0``).
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+from ..cluster import ClusterConfig
+
+#: The paper's evaluation platform: 8 nodes, 1 Phi (8 GB) per node.
+PAPER_CLUSTER = ClusterConfig(nodes=8, devices_per_node=1)
+
+#: Default RNG seed for job-set generation (reproducibility).
+DEFAULT_SEED = 42
+
+#: Where benchmark runs drop their rendered tables.
+RESULTS_DIR = Path(__file__).resolve().parents[3] / "benchmarks" / "results"
+
+
+def bench_scale(default: float = 1.0) -> float:
+    """Job-count scale for benchmark runs.
+
+    Benchmarks run at paper scale by default (the whole harness takes a
+    few minutes; these are the numbers recorded in EXPERIMENTS.md). Set
+    ``REPRO_SCALE=0.25`` for a quick smoke pass — but beware that very
+    low job pressure (few jobs per node) changes the regime: random
+    sharing stops paying off, which is itself one of the paper's
+    observations (Fig. 9 discussion).
+    """
+    if os.environ.get("REPRO_FULL"):
+        return 1.0
+    value = os.environ.get("REPRO_SCALE")
+    if value:
+        scale = float(value)
+        if scale <= 0:
+            raise ValueError("REPRO_SCALE must be positive")
+        return scale
+    return default
+
+
+def scaled(count: int, scale: float) -> int:
+    """Scale a job count, keeping at least a handful of jobs."""
+    return max(8, int(round(count * scale)))
+
+
+def save_result(name: str, text: str) -> Path:
+    """Persist a rendered table under benchmarks/results/."""
+    RESULTS_DIR.mkdir(parents=True, exist_ok=True)
+    path = RESULTS_DIR / f"{name}.txt"
+    path.write_text(text + "\n")
+    return path

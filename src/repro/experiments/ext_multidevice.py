@@ -1,0 +1,59 @@
+"""X2 — extension: consolidating coprocessors (D devices per node).
+
+The problem formulation (§IV-B) allows D Xeon Phis per server but the
+testbed had one. This extension holds total cards constant (8) and
+varies the node shape: 8x1, 4x2, 2x4. Consolidation pools the host slots
+that feed each card and lets the within-node device picker balance, at
+the price of fewer host CPUs per card.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+from ..cluster import ClusterConfig, run_mcc, run_mcck
+from ..metrics import format_table
+from ..workloads import generate_table1_jobs
+from .common import DEFAULT_SEED, PAPER_CLUSTER
+
+#: (nodes, devices_per_node) shapes with 8 cards total.
+DEFAULT_SHAPES = ((8, 1), (4, 2), (2, 4))
+
+
+@dataclass
+class MultiDeviceResult:
+    job_count: int
+    shapes: tuple[tuple[int, int], ...]
+    makespans: dict[str, list[float]]  # configuration -> aligned with shapes
+
+
+def run(
+    jobs: int = 400,
+    shapes: tuple[tuple[int, int], ...] = DEFAULT_SHAPES,
+    config: ClusterConfig = PAPER_CLUSTER,
+    seed: int = DEFAULT_SEED,
+) -> MultiDeviceResult:
+    job_set = generate_table1_jobs(jobs, seed=seed)
+    makespans: dict[str, list[float]] = {"MCC": [], "MCCK": []}
+    for nodes, devices in shapes:
+        shaped = replace(config, nodes=nodes, devices_per_node=devices)
+        makespans["MCC"].append(run_mcc(job_set, shaped).makespan)
+        makespans["MCCK"].append(run_mcck(job_set, shaped).makespan)
+    return MultiDeviceResult(job_count=jobs, shapes=shapes, makespans=makespans)
+
+
+def render(result: MultiDeviceResult) -> str:
+    rows = []
+    for i, (nodes, devices) in enumerate(result.shapes):
+        rows.append(
+            [
+                f"{nodes} nodes x {devices} Phi",
+                f"{result.makespans['MCC'][i]:.0f}",
+                f"{result.makespans['MCCK'][i]:.0f}",
+            ]
+        )
+    return format_table(
+        ["cluster shape (8 cards total)", "MCC (s)", "MCCK (s)"],
+        rows,
+        title=f"X2: consolidation at constant card count ({result.job_count} jobs)",
+    )

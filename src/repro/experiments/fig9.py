@@ -1,0 +1,65 @@
+"""E6 — Fig. 9: effect of cluster size, per resource distribution.
+
+Makespan of the fixed 400-job synthetic sets on clusters of increasing
+size. Expected shape (paper): at very small clusters the job pressure is
+so high that any sharing (even random) wins and MCCK ~ MCC; as the
+cluster grows, cluster-level decisions matter more and MCCK's margin over
+MCC widens, while all sharing gains shrink relative to MC.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..cluster import ClusterConfig, run_configuration
+from ..metrics import format_series
+from ..workloads import DISTRIBUTIONS, generate_synthetic_jobs
+from .common import DEFAULT_SEED, PAPER_CLUSTER
+
+#: The cluster sizes Fig. 9's x-axis spans.
+DEFAULT_SIZES = (2, 3, 4, 5, 6, 8)
+
+
+@dataclass
+class Fig9Result:
+    job_count: int
+    sizes: tuple[int, ...]
+    #: makespans[distribution][configuration] -> list aligned with sizes
+    makespans: dict[str, dict[str, list[float]]]
+
+
+def run(
+    jobs: int = 400,
+    sizes: tuple[int, ...] = DEFAULT_SIZES,
+    config: ClusterConfig = PAPER_CLUSTER,
+    seed: int = DEFAULT_SEED,
+    distributions: tuple[str, ...] = DISTRIBUTIONS,
+) -> Fig9Result:
+    makespans: dict[str, dict[str, list[float]]] = {}
+    for distribution in distributions:
+        job_set = generate_synthetic_jobs(jobs, distribution, seed=seed)
+        series: dict[str, list[float]] = {"MC": [], "MCC": [], "MCCK": []}
+        for size in sizes:
+            sized = config.resized(size)
+            for configuration in series:
+                series[configuration].append(
+                    run_configuration(configuration, job_set, sized).makespan
+                )
+        makespans[distribution] = series
+    return Fig9Result(job_count=jobs, sizes=sizes, makespans=makespans)
+
+
+def render(result: Fig9Result) -> str:
+    blocks = [
+        f"Fig. 9: makespan vs cluster size ({result.job_count} synthetic jobs)"
+    ]
+    for distribution, series in result.makespans.items():
+        blocks.append(
+            format_series(
+                "nodes",
+                list(result.sizes),
+                series,
+                title=f"\n[{distribution}]",
+            )
+        )
+    return "\n".join(blocks)

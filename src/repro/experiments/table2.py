@@ -1,0 +1,111 @@
+"""E2/E3 — Table II: makespan and footprint on the real workload mix.
+
+1000 Table-I job instances on the 8-node cluster:
+
+* makespan under MC, MCC and MCCK (paper: 3568 / 2611 / 2183 seconds,
+  i.e. 27% and 39% reductions);
+* footprint: the smallest cluster whose MCC / MCCK makespan matches the
+  8-node MC baseline (paper: 6 and 5 nodes).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from ..cluster import ClusterConfig, run_mc, run_mcc, run_mcck
+from ..metrics import FootprintResult, find_footprint, format_table, percent_reduction
+from ..workloads import generate_table1_jobs
+from .common import DEFAULT_SEED, PAPER_CLUSTER
+
+
+@dataclass
+class Table2Result:
+    job_count: int
+    makespans: dict[str, float]  # configuration -> seconds
+    footprints: dict[str, FootprintResult]
+    mc_utilization: float
+
+    def reduction(self, configuration: str) -> float:
+        return percent_reduction(self.makespans["MC"], self.makespans[configuration])
+
+
+def run(
+    jobs: int = 1000,
+    config: ClusterConfig = PAPER_CLUSTER,
+    seed: int = DEFAULT_SEED,
+    footprint: bool = True,
+) -> Table2Result:
+    job_set = generate_table1_jobs(jobs, seed=seed)
+    mc = run_mc(job_set, config)
+    mcc = run_mcc(job_set, config)
+    mcck = run_mcck(job_set, config)
+    makespans = {"MC": mc.makespan, "MCC": mcc.makespan, "MCCK": mcck.makespan}
+
+    footprints: dict[str, FootprintResult] = {}
+    if footprint:
+        target = mc.makespan
+        footprints["MCC"] = find_footprint(
+            lambda n: run_mcc(job_set, config.resized(n)).makespan,
+            target, max_size=config.nodes,
+        )
+        footprints["MCCK"] = find_footprint(
+            lambda n: run_mcck(job_set, config.resized(n)).makespan,
+            target, max_size=config.nodes,
+        )
+    return Table2Result(
+        job_count=jobs,
+        makespans=makespans,
+        footprints=footprints,
+        mc_utilization=mc.mean_core_utilization,
+    )
+
+
+_PAPER = {
+    "MC": ("3568", "-", "-", "-"),
+    "MCC": ("2611", "27%", "6", "25%"),
+    "MCCK": ("2183", "39%", "5", "37.5%"),
+}
+
+
+def render(result: Table2Result) -> str:
+    rows = []
+    for configuration in ("MC", "MCC", "MCCK"):
+        makespan = result.makespans[configuration]
+        reduction = (
+            "-" if configuration == "MC" else f"{result.reduction(configuration):.0f}%"
+        )
+        fp: Optional[FootprintResult] = result.footprints.get(configuration)
+        if fp is None:
+            size, fp_red = "-", "-"
+        elif fp.cluster_size is None:
+            size, fp_red = ">8", "-"
+        else:
+            size = str(fp.cluster_size)
+            fp_red = f"{100 * (1 - fp.cluster_size / 8):.1f}%"
+        paper = _PAPER[configuration]
+        rows.append(
+            [
+                configuration,
+                f"{makespan:.0f}",
+                reduction,
+                size,
+                fp_red,
+                f"(paper: {paper[0]} / {paper[1]} / {paper[2]})",
+            ]
+        )
+    return format_table(
+        [
+            "config",
+            "makespan (s)",
+            "reduction vs MC",
+            "footprint (nodes)",
+            "footprint reduction",
+            "paper reference",
+        ],
+        rows,
+        title=(
+            f"Table II: makespan & footprint, {result.job_count} Table-I jobs, "
+            f"8-node cluster (MC utilization {100 * result.mc_utilization:.0f}%)"
+        ),
+    )

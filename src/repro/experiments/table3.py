@@ -1,0 +1,89 @@
+"""E7 — Table III: footprint reduction per resource distribution.
+
+For each synthetic distribution: the smallest cluster whose MCC / MCCK
+makespan matches the 8-node MC baseline. Paper: MCCK 5 / 5 / 3 / 6 nodes
+(uniform / normal / low-skew / high-skew) vs MCC 6 / 6 / 4 / 6.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..cluster import ClusterConfig, run_mc, run_mcc, run_mcck
+from ..metrics import FootprintResult, find_footprint, format_table
+from ..workloads import DISTRIBUTIONS, generate_synthetic_jobs
+from .common import DEFAULT_SEED, PAPER_CLUSTER
+
+
+@dataclass
+class Table3Result:
+    job_count: int
+    #: footprints[distribution][configuration]
+    footprints: dict[str, dict[str, FootprintResult]]
+    mc_makespans: dict[str, float]
+
+
+def run(
+    jobs: int = 400,
+    config: ClusterConfig = PAPER_CLUSTER,
+    seed: int = DEFAULT_SEED,
+    distributions: tuple[str, ...] = DISTRIBUTIONS,
+) -> Table3Result:
+    footprints: dict[str, dict[str, FootprintResult]] = {}
+    mc_makespans: dict[str, float] = {}
+    for distribution in distributions:
+        job_set = generate_synthetic_jobs(jobs, distribution, seed=seed)
+        target = run_mc(job_set, config).makespan
+        mc_makespans[distribution] = target
+        footprints[distribution] = {
+            "MCC": find_footprint(
+                lambda n: run_mcc(job_set, config.resized(n)).makespan,
+                target, max_size=config.nodes,
+            ),
+            "MCCK": find_footprint(
+                lambda n: run_mcck(job_set, config.resized(n)).makespan,
+                target, max_size=config.nodes,
+            ),
+        }
+    return Table3Result(
+        job_count=jobs, footprints=footprints, mc_makespans=mc_makespans
+    )
+
+
+_PAPER = {
+    "uniform": ("6 (25%)", "5 (37.5%)"),
+    "normal": ("6 (25%)", "5 (37.5%)"),
+    "low-skew": ("4 (50%)", "3 (62.5%)"),
+    "high-skew": ("6 (25%)", "6 (25%)"),
+}
+
+
+def _cell(fp: FootprintResult, reference: int) -> str:
+    if fp.cluster_size is None:
+        return f">{reference}"
+    reduction = fp.reduction_vs(reference)
+    assert reduction is not None
+    return f"{fp.cluster_size} ({100 * reduction:.1f}%)"
+
+
+def render(result: Table3Result) -> str:
+    rows = []
+    for distribution, by_config in result.footprints.items():
+        paper = _PAPER.get(distribution, ("?", "?"))
+        rows.append(
+            [
+                distribution,
+                "8",
+                _cell(by_config["MCC"], 8),
+                _cell(by_config["MCCK"], 8),
+                f"(paper: MCC {paper[0]}, MCCK {paper[1]})",
+            ]
+        )
+    return format_table(
+        ["distribution", "MC", "MCC", "MCCK", "paper reference"],
+        rows,
+        title=(
+            f"Table III: footprint (cluster size matching the 8-node MC "
+            f"makespan), {result.job_count} jobs"
+        ),
+    )

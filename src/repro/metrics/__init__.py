@@ -1,0 +1,45 @@
+"""Metrics: makespan, coprocessor utilization, cluster footprint, reports."""
+
+from .analysis import (
+    BalanceStats,
+    OffloadStats,
+    QueueStats,
+    balance_stats,
+    concurrency_profile,
+    offload_stats,
+    queue_stats,
+)
+from .footprint import FootprintResult, find_footprint
+from .replication import Replicated, compare, replicate
+from .makespan import MakespanStats, makespan_of, summarize
+from .timeline import cluster_timeline, device_timeline, legend
+from .report import ascii_bar_chart, format_series, format_table, percent_reduction
+from .utilization import UtilizationSummary, cluster_utilization, mean_busy_cores
+
+__all__ = [
+    "BalanceStats",
+    "FootprintResult",
+    "OffloadStats",
+    "QueueStats",
+    "Replicated",
+    "balance_stats",
+    "compare",
+    "concurrency_profile",
+    "offload_stats",
+    "queue_stats",
+    "replicate",
+    "MakespanStats",
+    "UtilizationSummary",
+    "ascii_bar_chart",
+    "cluster_timeline",
+    "cluster_utilization",
+    "device_timeline",
+    "find_footprint",
+    "format_series",
+    "format_table",
+    "legend",
+    "makespan_of",
+    "mean_busy_cores",
+    "percent_reduction",
+    "summarize",
+]

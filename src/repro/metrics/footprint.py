@@ -1,0 +1,63 @@
+"""Coprocessor footprint: the smallest cluster matching a target makespan.
+
+Table II / Table III of the paper report, for each sharing configuration,
+"the cluster size required to achieve the same makespan as the baseline
+(MC) on an 8-node cluster". Because makespan decreases monotonically (in
+expectation) with cluster size, a linear scan from 1 node upward finds
+the minimum; the paper reports integer node counts the same way.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Optional
+
+
+@dataclass(frozen=True)
+class FootprintResult:
+    """Outcome of a footprint search."""
+
+    target_makespan: float
+    cluster_size: Optional[int]  # None: target unreachable within max size
+    makespans: dict[int, float]  # size -> measured makespan
+
+    @property
+    def found(self) -> bool:
+        return self.cluster_size is not None
+
+    def reduction_vs(self, reference_size: int) -> Optional[float]:
+        """Fractional cluster-size reduction against a reference size."""
+        if self.cluster_size is None:
+            return None
+        return 1.0 - self.cluster_size / reference_size
+
+
+def find_footprint(
+    run_at_size: Callable[[int], float],
+    target_makespan: float,
+    max_size: int,
+    min_size: int = 1,
+) -> FootprintResult:
+    """Smallest ``size`` in [min_size, max_size] whose makespan meets target.
+
+    Parameters
+    ----------
+    run_at_size:
+        Callable running the workload on a cluster of the given size and
+        returning its makespan (simulated seconds).
+    target_makespan:
+        The makespan to match or beat (the MC baseline's).
+    max_size:
+        Upper bound on cluster size (the paper's reference size, 8).
+    """
+    if target_makespan <= 0:
+        raise ValueError("target_makespan must be positive")
+    if min_size < 1 or max_size < min_size:
+        raise ValueError("need 1 <= min_size <= max_size")
+    makespans: dict[int, float] = {}
+    for size in range(min_size, max_size + 1):
+        makespan = run_at_size(size)
+        makespans[size] = makespan
+        if makespan <= target_makespan:
+            return FootprintResult(target_makespan, size, makespans)
+    return FootprintResult(target_makespan, None, makespans)

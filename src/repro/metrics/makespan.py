@@ -1,0 +1,45 @@
+"""Makespan extraction and job-level timing statistics."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from ..mpss.runtime import JobRunResult
+
+
+@dataclass(frozen=True)
+class MakespanStats:
+    """Timing statistics over a set of completed job runs."""
+
+    makespan: float
+    mean_wall_time: float
+    max_wall_time: float
+    mean_queue_to_start: float
+    jobs: int
+
+    @property
+    def throughput(self) -> float:
+        """Jobs per simulated second over the makespan."""
+        if self.makespan <= 0:
+            return 0.0
+        return self.jobs / self.makespan
+
+
+def makespan_of(results: Sequence[JobRunResult]) -> float:
+    """Completion time of the last job (submission assumed at t=0)."""
+    return max((r.end for r in results), default=0.0)
+
+
+def summarize(results: Sequence[JobRunResult]) -> MakespanStats:
+    """Aggregate timing statistics for one run's job results."""
+    if not results:
+        return MakespanStats(0.0, 0.0, 0.0, 0.0, 0)
+    walls = [r.wall_time for r in results]
+    return MakespanStats(
+        makespan=makespan_of(results),
+        mean_wall_time=sum(walls) / len(walls),
+        max_wall_time=max(walls),
+        mean_queue_to_start=sum(r.start for r in results) / len(results),
+        jobs=len(results),
+    )

@@ -1,0 +1,48 @@
+"""Cluster-level coprocessor utilization analysis (§III's metric)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from ..phi.device import XeonPhi
+
+
+@dataclass(frozen=True)
+class UtilizationSummary:
+    """Core-utilization statistics across a cluster's devices."""
+
+    per_device: tuple[float, ...]
+
+    @property
+    def mean(self) -> float:
+        if not self.per_device:
+            return 0.0
+        return sum(self.per_device) / len(self.per_device)
+
+    @property
+    def minimum(self) -> float:
+        return min(self.per_device, default=0.0)
+
+    @property
+    def maximum(self) -> float:
+        return max(self.per_device, default=0.0)
+
+
+def cluster_utilization(
+    devices: Sequence[XeonPhi], start: float, end: float
+) -> UtilizationSummary:
+    """Average busy-core fraction for each device over ``[start, end]``."""
+    return UtilizationSummary(
+        per_device=tuple(
+            device.telemetry.core_utilization(device.spec.cores, start, end)
+            for device in devices
+        )
+    )
+
+
+def mean_busy_cores(devices: Sequence[XeonPhi], start: float, end: float) -> float:
+    """Time-average number of busy cores summed across devices."""
+    return sum(
+        device.telemetry.busy_cores.mean(start, end) for device in devices
+    )

@@ -1,0 +1,22 @@
+"""Simulated MPSS stack: COI process lifecycle, SCIF transfers, offload runtime."""
+
+from .coi import COIProcess
+from .runtime import (
+    JobRunResult,
+    MemoryEnforcer,
+    MemoryLimitExceeded,
+    OffloadGate,
+    OffloadRuntime,
+)
+from .scif import FREE_TRANSFERS, SCIFModel
+
+__all__ = [
+    "COIProcess",
+    "FREE_TRANSFERS",
+    "JobRunResult",
+    "MemoryEnforcer",
+    "MemoryLimitExceeded",
+    "OffloadGate",
+    "OffloadRuntime",
+    "SCIFModel",
+]

@@ -1,0 +1,72 @@
+"""COI — the Coprocessor Offload Infrastructure process model.
+
+For every host process that offloads, the real COI creates a sibling
+process on the card that executes the offloaded sections and owns the
+job's device memory. We reproduce that lifecycle: registration with the
+device, monotone resident-memory growth (stacks and committed blocks grow
+but do not shrink until exit, per §II-C), and teardown.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Hashable, Optional
+
+from ..phi.device import XeonPhi
+
+
+class COIProcess:
+    """The device-side process belonging to one host job.
+
+    Parameters
+    ----------
+    device:
+        The coprocessor the process lives on.
+    owner:
+        Hashable identity (normally the job id).
+    base_memory_mb:
+        Runtime overhead resident from creation (COI daemon structures).
+    on_kill:
+        Invoked if the card's OOM killer selects this process.
+    """
+
+    def __init__(
+        self,
+        device: XeonPhi,
+        owner: Hashable,
+        base_memory_mb: float = 0.0,
+        on_kill: Optional[Callable[[Hashable], None]] = None,
+    ) -> None:
+        if base_memory_mb < 0:
+            raise ValueError("base_memory_mb must be non-negative")
+        self.device = device
+        self.owner = owner
+        self._alive = True
+        device.register_process(owner, on_kill=on_kill)
+        if base_memory_mb:
+            device.allocate(owner, base_memory_mb)
+
+    @property
+    def alive(self) -> bool:
+        return self._alive
+
+    @property
+    def resident_mb(self) -> float:
+        """Current resident memory on the device."""
+        return self.device.resident_of(self.owner)
+
+    def grow_to(self, memory_mb: float) -> None:
+        """Grow resident memory to at least ``memory_mb`` (monotone)."""
+        if not self._alive:
+            raise RuntimeError(f"COI process {self.owner!r} already destroyed")
+        if memory_mb > self.resident_mb:
+            self.device.set_resident(self.owner, memory_mb)
+
+    def destroy(self) -> None:
+        """Tear the process down, reclaiming all device memory."""
+        if self._alive:
+            self._alive = False
+            self.device.unregister_process(self.owner)
+
+    def __repr__(self) -> str:
+        state = "alive" if self._alive else "destroyed"
+        return f"<COIProcess {self.owner!r} ({state}) on {self.device.name}>"

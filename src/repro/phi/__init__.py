@@ -1,0 +1,39 @@
+"""Simulated Xeon Phi coprocessor: hardware spec, contention, memory, telemetry.
+
+The device model reproduces the properties the paper's scheduler depends
+on: 60 cores x 4 hardware threads, 8 GB device memory, full-speed
+execution while concurrent offloads fit the thread budget (COSMIC
+affinitization), steep slowdowns under thread oversubscription, and
+OOM-killer process termination under memory oversubscription.
+"""
+
+from .contention import (
+    AffinitizedContention,
+    CALIBRATED_SHARING_PENALTY,
+    ContentionModel,
+    UnmanagedContention,
+    slowdown,
+)
+from .device import OffloadRecord, OOMKilled, XeonPhi
+from .micinfo import MicInfo, format_report, query_device, query_node
+from .spec import PAPER_SPEC, XeonPhiSpec
+from .telemetry import DeviceTelemetry, StepSeries
+
+__all__ = [
+    "AffinitizedContention",
+    "CALIBRATED_SHARING_PENALTY",
+    "ContentionModel",
+    "DeviceTelemetry",
+    "MicInfo",
+    "OffloadRecord",
+    "OOMKilled",
+    "PAPER_SPEC",
+    "StepSeries",
+    "UnmanagedContention",
+    "XeonPhi",
+    "XeonPhiSpec",
+    "format_report",
+    "query_device",
+    "query_node",
+    "slowdown",
+]

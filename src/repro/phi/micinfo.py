@@ -1,0 +1,55 @@
+"""``micinfo`` — the device-query utility.
+
+The paper's Condor integration has every compute node run Intel's
+``micinfo`` to discover how many Phi cards it hosts and how much memory
+each carries, then advertise those numbers in its ClassAd (§IV-D1). This
+module reproduces that query surface against simulated devices.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .device import XeonPhi
+
+
+@dataclass(frozen=True)
+class MicInfo:
+    """Static facts about one card, as ``micinfo`` would print them."""
+
+    device_index: int
+    name: str
+    cores: int
+    hardware_threads: int
+    memory_mb: int
+    usable_memory_mb: int
+
+
+def query_device(device: XeonPhi, index: int = 0) -> MicInfo:
+    """Inspect one simulated card."""
+    spec = device.spec
+    return MicInfo(
+        device_index=index,
+        name=device.name,
+        cores=spec.cores,
+        hardware_threads=spec.hardware_threads,
+        memory_mb=spec.memory_mb,
+        usable_memory_mb=spec.usable_memory_mb,
+    )
+
+
+def query_node(devices: list[XeonPhi]) -> list[MicInfo]:
+    """Inspect every card on a node, in device order."""
+    return [query_device(device, index) for index, device in enumerate(devices)]
+
+
+def format_report(infos: list[MicInfo]) -> str:
+    """Render a human-readable report similar to the real utility."""
+    lines = [f"MicInfo: {len(infos)} device(s) found"]
+    for info in infos:
+        lines.append(f"  Device {info.device_index}: {info.name}")
+        lines.append(f"    Cores          : {info.cores}")
+        lines.append(f"    HW threads     : {info.hardware_threads}")
+        lines.append(f"    Memory         : {info.memory_mb} MB")
+        lines.append(f"    Usable memory  : {info.usable_memory_mb} MB")
+    return "\n".join(lines)

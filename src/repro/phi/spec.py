@@ -1,0 +1,68 @@
+"""Hardware description of a Xeon Phi coprocessor.
+
+Defaults follow the paper's evaluation platform (§V): ~60 in-order cores,
+4 hardware threads per core (240 threads), 8 GB of device memory shared by
+user processes, the on-card Linux and daemons.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass(frozen=True)
+class XeonPhiSpec:
+    """Immutable capacity description of one coprocessor card.
+
+    Attributes
+    ----------
+    cores:
+        Number of physical cores (the paper's cards have 60 usable).
+    threads_per_core:
+        Hardware threads per core (4 on Knights Corner).
+    memory_mb:
+        Physical device memory in MiB available to user jobs.
+    reserved_memory_mb:
+        Memory held back for the on-card OS and daemons; subtracted from
+        ``memory_mb`` to form the user-visible capacity.
+    """
+
+    cores: int = 60
+    threads_per_core: int = 4
+    memory_mb: int = 8192
+    reserved_memory_mb: int = 0
+
+    def __post_init__(self) -> None:
+        if self.cores <= 0:
+            raise ValueError("cores must be positive")
+        if self.threads_per_core <= 0:
+            raise ValueError("threads_per_core must be positive")
+        if self.memory_mb <= 0:
+            raise ValueError("memory_mb must be positive")
+        if not 0 <= self.reserved_memory_mb < self.memory_mb:
+            raise ValueError("reserved_memory_mb must lie in [0, memory_mb)")
+
+    @property
+    def hardware_threads(self) -> int:
+        """Total hardware threads (paper: 240)."""
+        return self.cores * self.threads_per_core
+
+    @property
+    def usable_memory_mb(self) -> int:
+        """Device memory available to user jobs."""
+        return self.memory_mb - self.reserved_memory_mb
+
+    def cores_for_threads(self, threads: int) -> int:
+        """Cores occupied by an offload using ``threads`` threads.
+
+        COSMIC-style affinitization packs a job's threads onto the fewest
+        cores possible, so an offload with ``t`` threads occupies
+        ``ceil(t / threads_per_core)`` cores.
+        """
+        if threads < 0:
+            raise ValueError("threads must be non-negative")
+        return -(-threads // self.threads_per_core)
+
+
+#: The configuration used throughout the paper's evaluation.
+PAPER_SPEC = XeonPhiSpec(cores=60, threads_per_core=4, memory_mb=8192)

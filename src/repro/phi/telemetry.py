@@ -1,0 +1,91 @@
+"""Per-device telemetry: step-function recording of busy cores and memory.
+
+The motivation experiment of the paper (§III) monitors "the activity of
+each processing core" and reports time-average utilization. We record the
+busy-core count as a right-continuous step function and integrate it
+exactly, which is equivalent to sampling at infinite frequency.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator
+
+
+@dataclass
+class StepSeries:
+    """An exactly-integrable, right-continuous step function of time."""
+
+    times: list[float] = field(default_factory=list)
+    values: list[float] = field(default_factory=list)
+
+    def record(self, time: float, value: float) -> None:
+        """Set the series to ``value`` from ``time`` onward."""
+        if self.times and time < self.times[-1]:
+            raise ValueError(
+                f"time must not decrease (got {time} after {self.times[-1]})"
+            )
+        if self.times and time == self.times[-1]:
+            # Same-instant update: overwrite, keeping the series a function.
+            self.values[-1] = value
+            return
+        if self.values and self.values[-1] == value:
+            return  # No change; keep the series compact.
+        self.times.append(time)
+        self.values.append(value)
+
+    def value_at(self, time: float) -> float:
+        """The series value at ``time`` (0 before the first record)."""
+        result = 0.0
+        for t, v in zip(self.times, self.values):
+            if t > time:
+                break
+            result = v
+        return result
+
+    def integral(self, start: float, end: float) -> float:
+        """Exact integral of the step function over ``[start, end]``."""
+        if end < start:
+            raise ValueError("end must be >= start")
+        if end == start or not self.times:
+            return 0.0
+        total = 0.0
+        # Walk segments [t_i, t_{i+1}) clipped to [start, end].
+        for i, (t, v) in enumerate(zip(self.times, self.values)):
+            seg_end = self.times[i + 1] if i + 1 < len(self.times) else end
+            lo = max(t, start)
+            hi = min(seg_end, end)
+            if hi > lo:
+                total += v * (hi - lo)
+        return total
+
+    def mean(self, start: float, end: float) -> float:
+        """Time-average value over ``[start, end]``."""
+        if end <= start:
+            return 0.0
+        return self.integral(start, end) / (end - start)
+
+    def __iter__(self) -> Iterator[tuple[float, float]]:
+        return iter(zip(self.times, self.values))
+
+    def __len__(self) -> int:
+        return len(self.times)
+
+
+@dataclass
+class DeviceTelemetry:
+    """Busy-core / thread / memory traces for one coprocessor."""
+
+    busy_cores: StepSeries = field(default_factory=StepSeries)
+    busy_threads: StepSeries = field(default_factory=StepSeries)
+    resident_memory_mb: StepSeries = field(default_factory=StepSeries)
+    #: Count of OOM-killer victims on this device.
+    oom_kills: int = 0
+
+    def core_utilization(self, total_cores: int, start: float, end: float) -> float:
+        """Fraction of core-time busy over ``[start, end]`` (paper's metric)."""
+        if total_cores <= 0:
+            raise ValueError("total_cores must be positive")
+        if end <= start:
+            return 0.0
+        return self.busy_cores.integral(start, end) / (total_cores * (end - start))

@@ -1,0 +1,156 @@
+"""The simulation environment: clock, event queue, and run loop."""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Optional, Union
+
+from .events import (
+    NORMAL,
+    AllOf,
+    AnyOf,
+    Event,
+    SimulationError,
+    StopSimulation,
+    Timeout,
+)
+from .process import Process, ProcessGenerator
+
+
+class EmptySchedule(Exception):
+    """Raised by :meth:`Environment.step` when no events remain."""
+
+
+class Environment:
+    """A discrete-event simulation environment.
+
+    Events scheduled for the same time are processed in (priority,
+    insertion-order) order, which makes every simulation fully
+    deterministic for a given seed.
+
+    Parameters
+    ----------
+    initial_time:
+        Simulated time at which the clock starts (default ``0.0``).
+    """
+
+    def __init__(self, initial_time: float = 0.0) -> None:
+        self._now = float(initial_time)
+        self._queue: list[tuple[float, int, int, Event]] = []
+        self._eid = 0
+        self._active_proc: Optional[Process] = None
+
+    # -- introspection ---------------------------------------------------
+
+    @property
+    def now(self) -> float:
+        """Current simulated time."""
+        return self._now
+
+    @property
+    def active_process(self) -> Optional[Process]:
+        """The process currently being resumed, if any."""
+        return self._active_proc
+
+    def peek(self) -> float:
+        """Time of the next scheduled event, or ``inf`` when none remain."""
+        return self._queue[0][0] if self._queue else float("inf")
+
+    # -- event factories ---------------------------------------------------
+
+    def event(self) -> Event:
+        """Create a new untriggered :class:`Event`."""
+        return Event(self)
+
+    def timeout(self, delay: float, value: Any = None) -> Timeout:
+        """Create an event that triggers after ``delay`` simulated seconds."""
+        return Timeout(self, delay, value)
+
+    def process(
+        self, generator: ProcessGenerator, name: Optional[str] = None
+    ) -> Process:
+        """Start a new process driving ``generator``."""
+        return Process(self, generator, name=name)
+
+    def all_of(self, events) -> AllOf:
+        """Event that triggers when all ``events`` have triggered."""
+        return AllOf(self, events)
+
+    def any_of(self, events) -> AnyOf:
+        """Event that triggers when any of ``events`` has triggered."""
+        return AnyOf(self, events)
+
+    # -- scheduling and stepping ------------------------------------------
+
+    def schedule(
+        self, event: Event, priority: int = NORMAL, delay: float = 0.0
+    ) -> None:
+        """Queue ``event`` to be processed after ``delay``."""
+        if delay < 0:
+            raise ValueError(f"negative delay {delay!r}")
+        self._eid += 1
+        heapq.heappush(self._queue, (self._now + delay, priority, self._eid, event))
+
+    def step(self) -> None:
+        """Process the next scheduled event.
+
+        Raises
+        ------
+        EmptySchedule
+            When the event queue is empty.
+        """
+        try:
+            self._now, _, _, event = heapq.heappop(self._queue)
+        except IndexError:
+            raise EmptySchedule() from None
+
+        callbacks, event.callbacks = event.callbacks, None
+        assert callbacks is not None
+        for callback in callbacks:
+            callback(event)
+
+        if not event._ok and not event._defused:
+            # Nobody handled the failure: surface it to the caller of run().
+            exc = event._value
+            assert isinstance(exc, BaseException)
+            raise exc
+
+    def run(self, until: Union[None, float, Event] = None) -> Any:
+        """Run the simulation.
+
+        Parameters
+        ----------
+        until:
+            ``None`` — run until no events remain; a number — run until
+            the clock reaches that time; an :class:`Event` — run until the
+            event triggers (its value is returned).
+        """
+        if until is not None and not isinstance(until, Event):
+            at = float(until)
+            if at <= self._now:
+                raise ValueError(f"until={at} must lie in the future (now={self._now})")
+            until = Event(self)
+            until._ok = True
+            until._value = None
+            self.schedule(until, priority=NORMAL, delay=at - self._now)
+
+        if isinstance(until, Event):
+            if until.callbacks is None:
+                # Already processed: nothing to run.
+                return until.value
+            until.callbacks.append(StopSimulation.callback)
+
+        try:
+            while True:
+                self.step()
+        except StopSimulation as stop:
+            return stop.args[0]
+        except EmptySchedule:
+            if isinstance(until, Event) and not until.triggered:
+                raise SimulationError(
+                    "no more events: the 'until' event was never triggered"
+                ) from None
+        return None
+
+    def __repr__(self) -> str:
+        return f"<Environment t={self._now} queued={len(self._queue)}>"

@@ -1,0 +1,106 @@
+"""Process objects: generators driven by the simulation environment."""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Any, Generator, Optional
+
+from .events import Event, Initialize, Interruption, SimulationError
+
+if TYPE_CHECKING:  # pragma: no cover
+    from .core import Environment
+
+ProcessGenerator = Generator[Event, Any, Any]
+
+
+class Process(Event):
+    """Wraps a generator and steps it through the events it yields.
+
+    A ``Process`` is itself an :class:`Event` that triggers when the
+    generator terminates: it succeeds with the generator's return value,
+    or fails with the exception that escaped the generator.
+    """
+
+    __slots__ = ("_generator", "_target", "name")
+
+    def __init__(
+        self,
+        env: "Environment",
+        generator: ProcessGenerator,
+        name: Optional[str] = None,
+    ) -> None:
+        if not hasattr(generator, "throw"):
+            raise TypeError(f"{generator!r} is not a generator")
+        super().__init__(env)
+        self._generator = generator
+        self.name = name or getattr(generator, "__name__", "process")
+        #: The event this process currently waits for (None when not
+        #: started, terminated, or about to be resumed).
+        self._target: Optional[Event] = Initialize(env, self)
+
+    @property
+    def target(self) -> Optional[Event]:
+        """The event the process is currently waiting for."""
+        return self._target
+
+    @property
+    def is_alive(self) -> bool:
+        """True while the generator has not terminated."""
+        return not self.triggered
+
+    def interrupt(self, cause: Any = None) -> None:
+        """Throw an :class:`Interrupt` into the process as soon as possible."""
+        Interruption(self, cause)
+
+    def _resume(self, event: Event) -> None:
+        """Advance the generator with the outcome of ``event``."""
+        env = self.env
+        env._active_proc = self
+
+        while True:
+            try:
+                if event.ok:
+                    next_event = self._generator.send(event.value)
+                else:
+                    # The waited-for event failed: re-raise inside the
+                    # generator so it may handle (and thereby defuse) it.
+                    event.defused = True
+                    exc = event.value
+                    assert isinstance(exc, BaseException)
+                    next_event = self._generator.throw(exc)
+            except StopIteration as stop:
+                self._target = None
+                env._active_proc = None
+                self.succeed(stop.value)
+                return
+            except BaseException as exc:
+                self._target = None
+                env._active_proc = None
+                self.fail(exc)
+                return
+
+            if not isinstance(next_event, Event):
+                self._target = None
+                env._active_proc = None
+                self.fail(
+                    SimulationError(
+                        f"process {self.name!r} yielded a non-event: "
+                        f"{next_event!r}"
+                    )
+                )
+                return
+
+            if next_event.processed:
+                # The event already happened; loop and resume immediately.
+                event = next_event
+                continue
+
+            if next_event.callbacks is not None:
+                self._target = next_event
+                next_event.callbacks.append(self._resume)
+                break
+
+        env._active_proc = None
+
+    def __repr__(self) -> str:
+        state = "terminated" if self.triggered else "alive"
+        return f"<Process {self.name!r} ({state}) at {id(self):#x}>"

@@ -1,0 +1,68 @@
+"""Build runnable job profiles from Condor submit descriptions.
+
+A submit file declares *what the user promises* (Phi devices, memory,
+threads); the executable's actual offload behaviour is opaque to the
+scheduler. For simulation we synthesize a plausible phase script from
+the declaration — the same construction the synthetic generators use —
+so submit-file-driven workflows exercise the identical pipeline.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from typing import TYPE_CHECKING
+
+import numpy as np
+
+from .profiles import JobProfile
+from .table1 import build_profile
+
+if TYPE_CHECKING:  # pragma: no cover - avoids a package-level import cycle
+    from ..condor.classad import ClassAd
+
+
+def profile_from_ad(
+    ad: "ClassAd",
+    rng: np.random.Generator,
+    job_id: Optional[str] = None,
+    mean_duration_s: float = 25.0,
+    duty_cycle: float = 0.88,
+) -> JobProfile:
+    """Synthesize a JobProfile honouring an ad's resource declaration."""
+    memory = ad.evaluate("RequestPhiMemory")
+    threads = ad.evaluate("RequestPhiThreads")
+    if not isinstance(memory, (int, float)) or isinstance(memory, bool):
+        raise ValueError("ad lacks a numeric RequestPhiMemory")
+    if not isinstance(threads, (int, float)) or isinstance(threads, bool):
+        raise ValueError("ad lacks a numeric RequestPhiThreads")
+    cluster = ad.evaluate("ClusterId")
+    proc = ad.evaluate("ProcId")
+    app = ad.evaluate("Cmd")
+    app_name = app if isinstance(app, str) else "submitted"
+    nominal = float(rng.lognormal(np.log(mean_duration_s) - 0.3**2 / 2, 0.3))
+    offloads = int(rng.integers(3, 9))
+    return build_profile(
+        job_id=job_id or f"c{cluster}.p{proc}",
+        app=app_name,
+        rng=rng,
+        threads=int(threads),
+        peak_memory_mb=float(memory),
+        nominal_s=nominal,
+        duty_cycle=duty_cycle,
+        offloads=offloads,
+    )
+
+
+def profiles_from_submit(
+    text: str,
+    seed: int = 0,
+    cluster_id: int = 1,
+) -> list[JobProfile]:
+    """Parse a submit description and synthesize one profile per instance."""
+    from ..condor.submit import parse_submit
+
+    rng = np.random.default_rng(seed)
+    return [
+        profile_from_ad(ad, rng) for ad in parse_submit(text, cluster_id=cluster_id)
+    ]

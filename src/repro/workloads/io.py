@@ -1,0 +1,110 @@
+"""Job-set serialization: save and reload exact workloads as JSON.
+
+Reproducibility glue: experiments can pin the *exact* job set (not just
+the seed) to a file, share it, and reload it bit-for-bit — the moral
+equivalent of publishing the trace alongside the paper.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Union
+
+from .profiles import HostPhase, JobProfile, OffloadPhase, Phase
+
+FORMAT_VERSION = 1
+
+
+def _phase_to_dict(phase: Phase) -> dict:
+    if isinstance(phase, HostPhase):
+        return {"kind": "host", "duration": phase.duration}
+    return {
+        "kind": "offload",
+        "work": phase.work,
+        "threads": phase.threads,
+        "memory_mb": phase.memory_mb,
+        "transfer_mb": phase.transfer_mb,
+    }
+
+
+def _phase_from_dict(data: dict) -> Phase:
+    kind = data.get("kind")
+    if kind == "host":
+        return HostPhase(duration=float(data["duration"]))
+    if kind == "offload":
+        return OffloadPhase(
+            work=float(data["work"]),
+            threads=int(data["threads"]),
+            memory_mb=float(data["memory_mb"]),
+            transfer_mb=float(data.get("transfer_mb", 0.0)),
+        )
+    raise ValueError(f"unknown phase kind {kind!r}")
+
+
+def job_to_dict(job: JobProfile) -> dict:
+    return {
+        "job_id": job.job_id,
+        "app": job.app,
+        "declared_memory_mb": job.declared_memory_mb,
+        "declared_threads": job.declared_threads,
+        "submit_time": job.submit_time,
+        "phases": [_phase_to_dict(p) for p in job.phases],
+    }
+
+
+def job_from_dict(data: dict) -> JobProfile:
+    return JobProfile(
+        job_id=str(data["job_id"]),
+        app=str(data["app"]),
+        phases=tuple(_phase_from_dict(p) for p in data["phases"]),
+        declared_memory_mb=float(data["declared_memory_mb"]),
+        declared_threads=int(data["declared_threads"]),
+        submit_time=float(data.get("submit_time", 0.0)),
+    )
+
+
+def dump_jobs(jobs: list[JobProfile], path: Union[str, Path]) -> None:
+    """Write a job set to a JSON file."""
+    payload = {
+        "format": "repro-jobset",
+        "version": FORMAT_VERSION,
+        "count": len(jobs),
+        "jobs": [job_to_dict(job) for job in jobs],
+    }
+    Path(path).write_text(json.dumps(payload, indent=1))
+
+
+def load_jobs(path: Union[str, Path]) -> list[JobProfile]:
+    """Read a job set back; validates the envelope."""
+    payload = json.loads(Path(path).read_text())
+    if payload.get("format") != "repro-jobset":
+        raise ValueError(f"{path}: not a repro job-set file")
+    if payload.get("version") != FORMAT_VERSION:
+        raise ValueError(
+            f"{path}: unsupported version {payload.get('version')!r}"
+        )
+    jobs = [job_from_dict(d) for d in payload["jobs"]]
+    if len(jobs) != payload.get("count"):
+        raise ValueError(f"{path}: count mismatch")
+    return jobs
+
+
+def dumps_jobs(jobs: list[JobProfile]) -> str:
+    """Job set to a JSON string (for tests and embedding)."""
+    return json.dumps(
+        {
+            "format": "repro-jobset",
+            "version": FORMAT_VERSION,
+            "count": len(jobs),
+            "jobs": [job_to_dict(job) for job in jobs],
+        }
+    )
+
+
+def loads_jobs(text: str) -> list[JobProfile]:
+    """Inverse of :func:`dumps_jobs`."""
+    payload = json.loads(text)
+    if payload.get("format") != "repro-jobset":
+        raise ValueError("not a repro job-set document")
+    return [job_from_dict(d) for d in payload["jobs"]]

@@ -1,0 +1,37 @@
+"""Tests for the command-line experiment runner."""
+
+import pytest
+
+from repro.cli import main
+
+
+class TestCLI:
+    def test_fig7_runs(self, capsys):
+        assert main(["fig7", "--jobs", "100"]) == 0
+        out = capsys.readouterr().out
+        assert "Fig. 7" in out
+        assert "[fig7:" in out
+
+    def test_table2_with_job_override(self, capsys):
+        assert main(["table2", "--jobs", "24"]) == 0
+        out = capsys.readouterr().out
+        assert "Table II" in out
+        assert "MCCK" in out
+
+    def test_motivation_job_mapping(self, capsys):
+        assert main(["motivation", "--jobs", "30"]) == 0
+        out = capsys.readouterr().out
+        assert "core utilization" in out.lower()
+
+    def test_unknown_experiment_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["nope"])
+
+    def test_seed_flag(self, capsys):
+        main(["fig7", "--jobs", "50", "--seed", "7"])
+        first = capsys.readouterr().out
+        main(["fig7", "--jobs", "50", "--seed", "7"])
+        second = capsys.readouterr().out
+        # Deterministic output modulo the timing line.
+        strip = lambda s: [l for l in s.splitlines() if not l.startswith("[")]
+        assert strip(first) == strip(second)

@@ -1,0 +1,132 @@
+"""Tests for the post-run invariant validator."""
+
+import random
+
+import pytest
+
+from repro.cluster import (
+    ComputeNode,
+    ValidationReport,
+    validate_devices,
+    validate_exclusive,
+    validate_pool,
+)
+from repro.condor import CondorPool, ExclusivePlacement, RandomPlacement
+from repro.phi import UnmanagedContention, XeonPhi
+from repro.sim import Environment
+from repro.workloads import generate_table1_jobs
+
+
+def run_pool(env, mode, policy, jobs):
+    nodes = [ComputeNode(env, f"n{i}", mode=mode) for i in range(2)]
+    pool = CondorPool(env, nodes, policy, cycle_interval=2.0)
+    pool.submit(jobs)
+    pool.run_to_completion()
+    return pool
+
+
+class TestCleanRuns:
+    def test_mcc_run_validates(self):
+        env = Environment()
+        pool = run_pool(env, "cosmic", RandomPlacement(random.Random(1)),
+                        generate_table1_jobs(30, seed=2))
+        report = validate_pool(pool, expect_gated=True)
+        assert report.ok, str(report)
+        assert str(report) == "all invariants hold"
+
+    def test_mc_run_validates_exclusive(self):
+        env = Environment()
+        pool = run_pool(env, "exclusive", ExclusivePlacement(),
+                        generate_table1_jobs(20, seed=2))
+        devices = [d for s in pool.startds for d in s.executor.devices]
+        assert validate_exclusive(devices).ok
+        assert validate_pool(pool).ok
+
+
+class TestViolationDetection:
+    @staticmethod
+    def _run_raw(env, phi, memory_mb, threads, count):
+        from dataclasses import replace
+
+        from repro.mpss import FREE_TRANSFERS, OffloadRuntime
+        from repro.workloads import HostPhase, JobProfile, OffloadPhase
+
+        runtime = OffloadRuntime(env, phi, scif=FREE_TRANSFERS)
+        job = JobProfile(
+            job_id="big",
+            app="t",
+            phases=(HostPhase(0.5),
+                    OffloadPhase(work=10, threads=threads, memory_mb=memory_mb)),
+            declared_memory_mb=memory_mb,
+            declared_threads=threads,
+        )
+
+        def driver(env, suffix):
+            yield from runtime.execute(replace(job, job_id=f"big-{suffix}"))
+
+        for i in range(count):
+            env.process(driver(env, i))
+        env.run()
+
+    def test_unsafe_memory_oversubscription_flags_oom(self):
+        # Three 5 GB processes on an 8 GB card: the OOM killer fires.
+        env = Environment()
+        phi = XeonPhi(env, contention=UnmanagedContention(), name="raw0")
+        self._run_raw(env, phi, memory_mb=5000, threads=240, count=3)
+        report = validate_devices([phi], expect_gated=True)
+        kinds = {v.kind for v in report.violations}
+        assert "oom-kill" in kinds
+        with pytest.raises(AssertionError):
+            report.raise_if_failed()
+
+    def test_unsafe_thread_oversubscription_flagged(self):
+        # Three 240-thread offloads fit memory but not the thread budget.
+        env = Environment()
+        phi = XeonPhi(env, contention=UnmanagedContention(), name="raw1")
+        self._run_raw(env, phi, memory_mb=2000, threads=240, count=3)
+        report = validate_devices([phi], expect_gated=True)
+        kinds = {v.kind for v in report.violations}
+        assert "thread-oversubscription" in kinds
+        assert "oom-kill" not in kinds
+
+    def test_exclusivity_violation_detected(self):
+        env = Environment()
+        phi = XeonPhi(env, name="shared")
+
+        def job(env, owner):
+            phi.register_process(owner)
+            yield from phi.run_offload(owner, 60, 5.0)
+            phi.unregister_process(owner)
+
+        env.process(job(env, "a"))
+        env.process(job(env, "b"))
+        env.run()
+        report = validate_exclusive([phi])
+        assert not report.ok
+        assert report.violations[0].kind == "exclusivity"
+
+    def test_back_to_back_offloads_are_not_overlap(self):
+        env = Environment()
+        phi = XeonPhi(env, name="serial")
+
+        def first(env):
+            phi.register_process("a")
+            yield from phi.run_offload("a", 240, 5.0)
+            phi.unregister_process("a")
+
+        def second(env):
+            yield env.timeout(5.0)  # starts exactly when the first ends
+            phi.register_process("b")
+            yield from phi.run_offload("b", 240, 5.0)
+            phi.unregister_process("b")
+
+        env.process(first(env))
+        env.process(second(env))
+        env.run()
+        assert validate_exclusive([phi]).ok
+        assert validate_devices([phi]).ok
+
+    def test_report_formatting(self):
+        report = ValidationReport()
+        report.add("demo", "here", "something broke")
+        assert "[demo] here: something broke" in str(report)

@@ -1,0 +1,119 @@
+"""Property-based tests for the ClassAd language (hypothesis).
+
+The evaluator must be *total*: whatever expression the fuzzer builds,
+evaluation returns a value (possibly UNDEFINED/ERROR) and never raises.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.condor import ClassAd, parse
+from repro.condor.classad import ERROR, UNDEFINED, Expr, Value
+from repro.condor.submit import format_classad, parse_classad_text
+
+# -- expression generators ----------------------------------------------------
+
+_numbers = st.one_of(
+    st.integers(min_value=-1000, max_value=1000).map(str),
+    st.floats(min_value=0.001, max_value=1000, allow_nan=False).map(
+        lambda f: f"{f:.3f}"
+    ),
+)
+_strings = st.text(
+    alphabet="abcXYZ 09_", min_size=0, max_size=8
+).map(lambda s: '"' + s + '"')
+_names = st.sampled_from(["Memory", "Name", "Missing", "Threads", "Busy"])
+_atoms = st.one_of(_numbers, _strings, _names,
+                   st.sampled_from(["true", "false", "undefined"]))
+
+_binops = st.sampled_from(
+    ["+", "-", "*", "/", "==", "!=", "<", "<=", ">", ">=", "&&", "||",
+     "=?=", "=!="]
+)
+
+
+@st.composite
+def expressions(draw, depth=3):
+    if depth == 0 or draw(st.booleans()):
+        return draw(_atoms)
+    kind = draw(st.integers(min_value=0, max_value=3))
+    if kind == 0:
+        left = draw(expressions(depth=depth - 1))
+        right = draw(expressions(depth=depth - 1))
+        op = draw(_binops)
+        return f"({left} {op} {right})"
+    if kind == 1:
+        inner = draw(expressions(depth=depth - 1))
+        return f"(!{inner})" if draw(st.booleans()) else f"(-{inner})"
+    if kind == 2:
+        c = draw(expressions(depth=depth - 1))
+        t = draw(expressions(depth=depth - 1))
+        f = draw(expressions(depth=depth - 1))
+        return f"({c} ? {t} : {f})"
+    inner = draw(expressions(depth=depth - 1))
+    fn = draw(st.sampled_from(["floor", "ceiling", "isUndefined", "toLower"]))
+    return f"{fn}({inner})"
+
+
+_CONTEXT = ClassAd({"Memory": 8192, "Name": "slot1@n0", "Threads": 240,
+                    "Busy": False})
+
+
+@settings(max_examples=300, deadline=None)
+@given(expressions())
+def test_evaluator_is_total(text):
+    """Parsing succeeds and evaluation never raises."""
+    expr = parse(text)
+    ad = ClassAd()
+    ad.set_expr("X", text)
+    value = ad.evaluate("X", _CONTEXT)
+    assert isinstance(expr, Expr)
+    _assert_classad_value(value)
+
+
+@settings(max_examples=300, deadline=None)
+@given(expressions())
+def test_evaluation_is_deterministic(text):
+    ad = ClassAd()
+    ad.set_expr("X", text)
+    assert _norm(ad.evaluate("X", _CONTEXT)) == _norm(ad.evaluate("X", _CONTEXT))
+
+
+@settings(max_examples=200, deadline=None)
+@given(
+    st.dictionaries(
+        st.sampled_from(["A", "B", "C", "D"]),
+        st.one_of(
+            st.integers(min_value=-100, max_value=100),
+            st.floats(min_value=-100, max_value=100, allow_nan=False),
+            st.booleans(),
+            st.text(alphabet="xyz 12", max_size=6),
+        ),
+        max_size=4,
+    )
+)
+def test_text_format_roundtrips_literal_ads(attrs):
+    """format -> parse -> evaluate matches the original literals."""
+    ad = ClassAd(attrs)
+    dup = parse_classad_text(format_classad(ad))
+    for name in attrs:
+        assert dup.evaluate(name) == pytest.approx(ad.evaluate(name)) \
+            if isinstance(attrs[name], float) \
+            else dup.evaluate(name) == ad.evaluate(name)
+
+
+def _assert_classad_value(value: Value) -> None:
+    assert (
+        value is UNDEFINED
+        or value is ERROR
+        or isinstance(value, (bool, int, float, str))
+    )
+
+
+def _norm(value):
+    if value is UNDEFINED:
+        return "UNDEF"
+    if value is ERROR:
+        return "ERR"
+    return value

@@ -1,0 +1,183 @@
+"""Unit tests for placement policies, machine/job ads, and negotiation."""
+
+import random
+
+import pytest
+
+from repro.condor import (
+    DeviceSnapshot,
+    ExclusivePlacement,
+    MachineSnapshot,
+    PinnedPlacement,
+    RandomPlacement,
+    job_ad,
+    machine_ad,
+    symmetric_match,
+)
+from repro.workloads import HostPhase, JobProfile, OffloadPhase
+
+
+def make_profile(job_id="j", memory=1000.0, threads=60):
+    return JobProfile(
+        job_id=job_id,
+        app="t",
+        phases=(HostPhase(1), OffloadPhase(work=1, threads=threads,
+                                           memory_mb=memory)),
+        declared_memory_mb=memory,
+        declared_threads=threads,
+    )
+
+
+def snapshot(node="n0", free_slots=4, free_mb=8192.0, resident=0,
+             claimed=False):
+    return MachineSnapshot(
+        node=node,
+        total_slots=16,
+        free_slots=free_slots,
+        devices=[
+            DeviceSnapshot(
+                index=0, memory_mb=8192.0, free_declared_mb=free_mb,
+                resident_jobs=resident, hardware_threads=240,
+                claimed_exclusive=claimed,
+            )
+        ],
+    )
+
+
+class _FakeRecord:
+    def __init__(self, profile, ad):
+        self.profile = profile
+        self.ad = ad
+
+
+def record(memory=1000.0, sharing=True, memory_aware=True):
+    profile = make_profile(memory=memory)
+    return _FakeRecord(profile, job_ad(profile, sharing, memory_aware))
+
+
+class TestAds:
+    def test_machine_ad_attributes(self):
+        ad = machine_ad(snapshot(free_slots=3, free_mb=5000))
+        assert ad.evaluate("Machine") == "n0"
+        assert ad.evaluate("Name") == "slot1@n0"
+        assert ad.evaluate("FreeSlots") == 3
+        assert ad.evaluate("PhiFreeMemory") == 5000.0
+        assert ad.evaluate("PhiDevicesFree") == 1
+
+    def test_exclusive_claim_lowers_devices_free(self):
+        ad = machine_ad(snapshot(claimed=True))
+        assert ad.evaluate("PhiDevicesFree") == 0
+
+    def test_sharing_memory_aware_job_matches_only_with_free_memory(self):
+        rec = record(memory=4000, memory_aware=True)
+        assert symmetric_match(rec.ad, machine_ad(snapshot(free_mb=5000)))
+        assert not symmetric_match(rec.ad, machine_ad(snapshot(free_mb=3000)))
+
+    def test_sharing_unaware_job_ignores_free_memory(self):
+        rec = record(memory=4000, memory_aware=False)
+        assert symmetric_match(rec.ad, machine_ad(snapshot(free_mb=0)))
+
+    def test_exclusive_job_needs_free_device(self):
+        rec = record(sharing=False)
+        assert symmetric_match(rec.ad, machine_ad(snapshot()))
+        assert not symmetric_match(rec.ad, machine_ad(snapshot(claimed=True)))
+
+    def test_all_jobs_need_free_slot(self):
+        for kwargs in (dict(sharing=True), dict(sharing=False),
+                       dict(sharing=True, memory_aware=False)):
+            rec = record(**kwargs)
+            assert not symmetric_match(rec.ad, machine_ad(snapshot(free_slots=0)))
+
+    def test_machine_rejects_oversized_job(self):
+        rec = record(memory=1000)
+        machine = machine_ad(snapshot())
+        assert symmetric_match(rec.ad, machine)
+        # A job bigger than the card is refused by the machine's own
+        # Requirements even if the job didn't check.
+        big = record(memory=9000, memory_aware=False)
+        assert not symmetric_match(big.ad, machine)
+
+
+class TestExclusivePlacement:
+    def test_first_fit(self):
+        policy = ExclusivePlacement()
+        snaps = [snapshot("n0", claimed=True), snapshot("n1")]
+        placement = policy.place(record(sharing=False), snaps)
+        assert placement is not None
+        chosen, device, exclusive = placement
+        assert chosen.node == "n1"
+        assert exclusive is True
+
+    def test_skips_busy_devices(self):
+        policy = ExclusivePlacement()
+        snaps = [snapshot("n0", resident=1)]
+        assert policy.place(record(sharing=False), snaps) is None
+
+    def test_exhausted(self):
+        policy = ExclusivePlacement()
+        assert policy.exhausted([snapshot(claimed=True)])
+        assert policy.exhausted([snapshot(free_slots=0)])
+        assert not policy.exhausted([snapshot()])
+
+    def test_deduct_marks_claim(self):
+        policy = ExclusivePlacement()
+        snap = snapshot()
+        policy.deduct(snap, 0, True, 1000)
+        assert snap.free_slots == 3
+        assert snap.devices[0].claimed_exclusive
+
+
+class TestRandomPlacement:
+    def test_uniform_choice_is_seeded(self):
+        snaps = [snapshot(f"n{i}") for i in range(4)]
+        a = RandomPlacement(random.Random(5)).place(record(), list(snaps))
+        b = RandomPlacement(random.Random(5)).place(record(), list(snaps))
+        assert a[0].node == b[0].node
+
+    def test_memory_aware_filters_devices(self):
+        policy = RandomPlacement(random.Random(0), memory_aware=True)
+        snaps = [snapshot("n0", free_mb=100), snapshot("n1", free_mb=5000)]
+        placement = policy.place(record(memory=4000), snaps)
+        assert placement[0].node == "n1"
+
+    def test_unaware_ignores_memory(self):
+        policy = RandomPlacement(random.Random(0), memory_aware=False)
+        snaps = [snapshot("n0", free_mb=0)]
+        assert policy.place(record(memory=4000), snaps) is not None
+
+    def test_no_free_slots_returns_none(self):
+        policy = RandomPlacement(random.Random(0))
+        assert policy.place(record(), [snapshot(free_slots=0)]) is None
+
+    def test_prefilter(self):
+        aware = RandomPlacement(random.Random(0), memory_aware=True)
+        assert not aware.prefilter(record(memory=4000), [snapshot(free_mb=100)])
+        assert aware.prefilter(record(memory=4000), [snapshot(free_mb=5000)])
+        unaware = RandomPlacement(random.Random(0), memory_aware=False)
+        assert unaware.prefilter(record(memory=4000), [snapshot(free_mb=100)])
+
+    def test_deduct_updates_shared_device(self):
+        policy = RandomPlacement(random.Random(0))
+        snap = snapshot(free_mb=5000)
+        policy.deduct(snap, 0, False, 2000)
+        assert snap.devices[0].free_declared_mb == 3000
+        assert snap.devices[0].resident_jobs == 1
+        assert snap.free_slots == 3
+
+
+class TestPinnedPlacement:
+    def test_uses_assigned_device(self):
+        policy = PinnedPlacement()
+        rec = record()
+        rec.ad["AssignedPhiDevice"] = 0
+        placement = policy.place(rec, [snapshot("n2")])
+        assert placement == (placement[0], 0, False)
+
+    def test_defaults_device_zero_when_unset(self):
+        policy = PinnedPlacement()
+        placement = policy.place(record(), [snapshot()])
+        assert placement[1] == 0
+
+    def test_full_node_returns_none(self):
+        policy = PinnedPlacement()
+        assert policy.place(record(), [snapshot(free_slots=0)]) is None

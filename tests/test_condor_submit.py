@@ -1,0 +1,140 @@
+"""Tests for submit-description parsing and the classic ClassAd text format."""
+
+import pytest
+
+from repro.condor import (
+    ClassAd,
+    ClassAdError,
+    SubmitError,
+    format_classad,
+    parse_classad_text,
+    parse_submit,
+)
+from repro.condor.classad import ERROR, UNDEFINED
+from repro.condor.submit import roundtrip
+from repro.workloads import profiles_from_submit
+
+SUBMIT = """\
+# A Xeon Phi offload job, as the paper's users would write it.
+executable          = km_offload
+arguments           = --points 4M --means 32
+request_phi_devices = 1
+request_phi_memory  = 1250
+request_phi_threads = 60
+requirements        = TARGET.PhiDevices >= 1
+output              = km_$(Process).out
+queue 3
+"""
+
+
+class TestParseSubmit:
+    def test_queue_count_produces_instances(self):
+        ads = parse_submit(SUBMIT)
+        assert len(ads) == 3
+        assert [ad.evaluate("ProcId") for ad in ads] == [0, 1, 2]
+        assert all(ad.evaluate("ClusterId") == 1 for ad in ads)
+
+    def test_resource_requests_renamed(self):
+        ad = parse_submit(SUBMIT)[0]
+        assert ad.evaluate("RequestPhiDevices") == 1
+        assert ad.evaluate("RequestPhiMemory") == 1250
+        assert ad.evaluate("RequestPhiThreads") == 60
+        assert ad.evaluate("Cmd") == "km_offload"
+
+    def test_process_macro_expansion(self):
+        ads = parse_submit(SUBMIT)
+        assert ads[0].evaluate("Output") == "km_0.out"
+        assert ads[2].evaluate("Output") == "km_2.out"
+
+    def test_requirements_is_expression(self):
+        ad = parse_submit(SUBMIT)[0]
+        machine = ClassAd({"PhiDevices": 2})
+        assert ad.evaluate("Requirements", machine) is True
+
+    def test_multiple_queue_statements(self):
+        text = "a = 1\nqueue\na = 2\nqueue 2\n"
+        ads = parse_submit(text)
+        assert len(ads) == 3
+        assert ads[0].evaluate("A") == 1
+        assert ads[1].evaluate("A") == 2
+        assert [a.evaluate("ProcId") for a in ads] == [0, 1, 2]
+
+    def test_quoted_strings_and_booleans(self):
+        text = 'name = "hello world"\nflag = true\nqueue\n'
+        ad = parse_submit(text)[0]
+        assert ad.evaluate("Name") == "hello world"
+        assert ad.evaluate("Flag") is True
+
+    @pytest.mark.parametrize(
+        "bad",
+        ["queue 0\n", "no queue statement\nx = 1\n", "=== nonsense\nqueue\n",
+         "requirements = ((\nqueue\n"],
+    )
+    def test_malformed_rejected(self, bad):
+        with pytest.raises(SubmitError):
+            parse_submit(bad)
+
+    def test_key_camelcasing(self):
+        ad = parse_submit("my_custom_attr = 7\nqueue\n")[0]
+        assert ad.evaluate("MyCustomAttr") == 7
+
+
+class TestClassAdText:
+    def test_format_literals(self):
+        ad = ClassAd({"Name": "slot1@n0", "Memory": 8192, "Busy": False,
+                      "Load": 0.5})
+        text = format_classad(ad)
+        assert 'Name = "slot1@n0"' in text
+        assert "Memory = 8192" in text
+        assert "Busy = false" in text
+
+    def test_parse_text(self):
+        ad = parse_classad_text('A = 1\nB = "x"\nC = A + 1\n')
+        assert ad.evaluate("A") == 1
+        assert ad.evaluate("B") == "x"
+        assert ad.evaluate("C") == 2
+
+    def test_roundtrip_preserves_literals(self):
+        ad = ClassAd({"S": 'tricky "quoted" \\ value', "N": -3, "F": 1.5,
+                      "B": True})
+        dup = roundtrip(ad)
+        for name in ("S", "N", "F", "B"):
+            assert dup.evaluate(name) == ad.evaluate(name)
+
+    def test_undefined_renders(self):
+        ad = ClassAd({"U": UNDEFINED, "E": ERROR})
+        text = format_classad(ad)
+        assert "U = undefined" in text
+        assert "E = error" in text
+        dup = parse_classad_text(text)
+        assert dup.evaluate("U") is UNDEFINED
+        assert dup.evaluate("E") is ERROR
+
+    def test_parse_bad_line(self):
+        with pytest.raises(ClassAdError):
+            parse_classad_text("not an assignment")
+
+
+class TestProfilesFromSubmit:
+    def test_profiles_honour_declarations(self):
+        profiles = profiles_from_submit(SUBMIT, seed=5)
+        assert len(profiles) == 3
+        for profile in profiles:
+            assert profile.declared_threads == 60
+            assert profile.declared_memory_mb >= 1250  # quantized up
+            assert profile.honest
+            assert profile.app == "km_offload"
+
+    def test_reproducible(self):
+        a = profiles_from_submit(SUBMIT, seed=5)
+        b = profiles_from_submit(SUBMIT, seed=5)
+        assert [p.nominal_duration for p in a] == [p.nominal_duration for p in b]
+
+    def test_missing_requests_rejected(self):
+        with pytest.raises(ValueError):
+            profiles_from_submit("executable = x\nqueue\n")
+
+    def test_job_ids_follow_cluster_proc(self):
+        profiles = profiles_from_submit(SUBMIT, seed=1, cluster_id=7)
+        assert profiles[0].job_id == "c7.p0"
+        assert profiles[2].job_id == "c7.p2"

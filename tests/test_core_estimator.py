@@ -1,0 +1,109 @@
+"""Tests for the automatic resource estimator (the paper's future work)."""
+
+import numpy as np
+import pytest
+
+from repro.core import ResourceEstimator
+from repro.workloads import (
+    HostPhase,
+    JobProfile,
+    OffloadPhase,
+    generate_table1_jobs,
+)
+
+
+def job(app, peak_mb, threads, job_id=None):
+    return JobProfile(
+        job_id=job_id or f"{app}-{peak_mb}-{threads}",
+        app=app,
+        phases=(HostPhase(1), OffloadPhase(work=1, threads=threads,
+                                           memory_mb=peak_mb)),
+        declared_memory_mb=peak_mb,
+        declared_threads=threads,
+    )
+
+
+class TestObservation:
+    def test_sample_count(self):
+        estimator = ResourceEstimator()
+        estimator.observe(job("KM", 500, 60))
+        estimator.observe(job("KM", 700, 60))
+        estimator.observe(job("SG", 3000, 60))
+        assert estimator.sample_count("KM") == 2
+        assert estimator.sample_count("SG") == 1
+        assert estimator.sample_count("??") == 0
+
+    def test_estimate_unknown_app_raises(self):
+        with pytest.raises(KeyError):
+            ResourceEstimator().estimate("ghost")
+
+
+class TestEstimation:
+    def test_estimate_covers_observed_range_with_headroom(self):
+        estimator = ResourceEstimator(quantile=1.0, headroom=0.10)
+        for mb in (500, 700, 900):
+            estimator.observe(job("KM", mb, 60))
+        estimate = estimator.estimate("KM")
+        assert estimate.memory_mb >= 900 * 1.10 - 50  # quantized
+        assert estimate.memory_mb % 50 == 0
+        assert estimate.threads == 60
+        assert estimate.samples == 3
+        assert estimate.observed_peak_mb == 900
+
+    def test_quantile_discounts_outliers(self):
+        estimator = ResourceEstimator(quantile=0.5, headroom=0.0)
+        for mb in [500] * 9 + [4000]:
+            estimator.observe(job("A", mb, 60))
+        assert estimator.estimate("A").memory_mb == 500
+
+    def test_threads_use_observed_max(self):
+        estimator = ResourceEstimator()
+        estimator.observe(job("A", 100, 60))
+        estimator.observe(job("A", 100, 180))
+        assert estimator.estimate("A").threads == 180
+
+    def test_declare_rewrites_profile(self):
+        estimator = ResourceEstimator(quantile=1.0, headroom=0.0)
+        estimator.observe(job("A", 2000, 120))
+        naive = job("A", 100, 60, job_id="new")
+        declared = estimator.declare(naive)
+        assert declared.declared_memory_mb == 2000
+        assert declared.declared_threads == 120
+        assert declared.job_id == "new"
+
+    def test_declare_unknown_app_passthrough(self):
+        estimator = ResourceEstimator()
+        original = job("A", 100, 60)
+        assert estimator.declare(original) is original
+
+    def test_coverage_on_real_workloads(self):
+        # Train on half the SG instances; the estimate should cover the
+        # vast majority of the held-out half.
+        jobs = [j for j in generate_table1_jobs(400, seed=9) if j.app == "SG"]
+        train, test = jobs[::2], jobs[1::2]
+        estimator = ResourceEstimator(quantile=0.95, headroom=0.10)
+        estimator.observe_many(train)
+        coverage = estimator.coverage("SG", test)
+        assert coverage >= 0.9
+
+    def test_coverage_with_no_relevant_profiles(self):
+        estimator = ResourceEstimator()
+        estimator.observe(job("A", 100, 60))
+        assert estimator.coverage("A", [job("B", 100, 60)]) == 1.0
+
+    def test_would_cover(self):
+        estimator = ResourceEstimator(quantile=1.0, headroom=0.0)
+        estimator.observe(job("A", 1000, 120))
+        estimate = estimator.estimate("A")
+        assert estimate.would_cover(job("A", 900, 100))
+        assert not estimate.would_cover(job("A", 1200, 100))
+        assert not estimate.would_cover(job("A", 900, 240))
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [{"quantile": 0}, {"quantile": 1.5}, {"headroom": -0.1},
+         {"quantum_mb": 0}],
+    )
+    def test_invalid_construction(self, kwargs):
+        with pytest.raises(ValueError):
+            ResourceEstimator(**kwargs)

@@ -1,0 +1,206 @@
+"""Unit + property tests for the 0-1 knapsack solvers."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import (
+    Item,
+    brute_force,
+    knapsack_1d,
+    knapsack_cardinality,
+    knapsack_thread_capped,
+)
+
+
+def items_of(*triples):
+    return [Item(weight=w, value=v, threads=t) for w, v, t in triples]
+
+
+class TestItem:
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"weight": -1, "value": 1},
+            {"weight": 1, "value": -1},
+            {"weight": 1, "value": 1, "threads": -1},
+        ],
+    )
+    def test_invalid_items_rejected(self, kwargs):
+        with pytest.raises(ValueError):
+            Item(**kwargs)
+
+
+class TestKnapsack1D:
+    def test_empty_input(self):
+        result = knapsack_1d([], 1000)
+        assert result.indices == ()
+        assert result.total_value == 0
+
+    def test_zero_capacity(self):
+        result = knapsack_1d(items_of((100, 1.0, 0)), 10, quantum=50)
+        assert result.indices == ()
+
+    def test_single_fitting_item(self):
+        result = knapsack_1d(items_of((100, 1.0, 0)), 1000, quantum=50)
+        assert result.indices == (0,)
+        assert result.total_weight == 100
+
+    def test_picks_best_subset(self):
+        # Capacity 100: {60,40} with value 2.0 beats {90} with value 1.5.
+        items = items_of((90, 1.5, 0), (60, 1.0, 0), (40, 1.0, 0))
+        result = knapsack_1d(items, 100, quantum=10)
+        assert result.indices == (1, 2)
+        assert result.total_value == pytest.approx(2.0)
+
+    def test_never_exceeds_capacity(self):
+        # 70 MB quantizes up to 2x50 MB, so only one item fits in 150 MB
+        # under the coarse quantum; the fine quantum packs two.
+        items = items_of((70, 1.0, 0), (70, 1.0, 0), (70, 1.0, 0))
+        coarse = knapsack_1d(items, 150, quantum=50)
+        assert coarse.total_weight <= 150
+        assert coarse.count == 1
+        fine = knapsack_1d(items, 150, quantum=10)
+        assert fine.total_weight <= 150
+        assert fine.count == 2
+
+    def test_quantization_rounds_up(self):
+        # 51 MB quantizes to 2 units of 50: two such items need 200 MB.
+        items = items_of((51, 1.0, 0), (51, 1.0, 0))
+        result = knapsack_1d(items, 150, quantum=50)
+        assert result.count == 1
+
+    def test_zero_value_items_not_packed(self):
+        result = knapsack_1d(items_of((50, 0.0, 0)), 1000, quantum=50)
+        assert result.indices == ()
+
+    def test_oversized_item_skipped(self):
+        items = items_of((2000, 5.0, 0), (100, 1.0, 0))
+        result = knapsack_1d(items, 1000, quantum=50)
+        assert result.indices == (1,)
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            knapsack_1d([], -1)
+        with pytest.raises(ValueError):
+            knapsack_1d([], 100, quantum=0)
+
+    @settings(max_examples=80, deadline=None)
+    @given(
+        st.lists(
+            st.tuples(
+                st.integers(min_value=0, max_value=12),  # weight in quanta
+                st.floats(min_value=0, max_value=5, allow_nan=False),
+            ),
+            min_size=0,
+            max_size=10,
+        ),
+        st.integers(min_value=0, max_value=15),
+    )
+    def test_matches_brute_force(self, raw, capacity_units):
+        items = [Item(weight=w, value=round(v, 3)) for w, v in raw]
+        capacity = float(capacity_units)
+        dp = knapsack_1d(items, capacity, quantum=1.0)
+        reference = brute_force(items, capacity)
+        assert dp.total_value == pytest.approx(reference.total_value, abs=1e-6)
+        assert dp.total_weight <= capacity
+
+
+class TestKnapsackCardinality:
+    def test_count_bound_respected(self):
+        items = items_of(*[(10, 1.0, 0)] * 6)
+        result = knapsack_cardinality(items, 1000, max_items=3, quantum=10)
+        assert result.count == 3
+
+    def test_zero_max_items(self):
+        result = knapsack_cardinality(items_of((10, 1.0, 0)), 100, max_items=0)
+        assert result.indices == ()
+
+    def test_negative_max_items_rejected(self):
+        with pytest.raises(ValueError):
+            knapsack_cardinality([], 100, max_items=-1)
+
+    def test_prefers_valuable_items_under_count_bound(self):
+        items = items_of((10, 0.1, 0), (10, 5.0, 0), (10, 3.0, 0))
+        result = knapsack_cardinality(items, 1000, max_items=2, quantum=10)
+        assert result.indices == (1, 2)
+
+    @settings(max_examples=60, deadline=None)
+    @given(
+        st.lists(
+            st.tuples(
+                st.integers(min_value=0, max_value=10),
+                st.floats(min_value=0, max_value=5, allow_nan=False),
+            ),
+            min_size=0,
+            max_size=9,
+        ),
+        st.integers(min_value=0, max_value=12),
+        st.integers(min_value=0, max_value=5),
+    )
+    def test_matches_brute_force(self, raw, capacity_units, max_items):
+        items = [Item(weight=w, value=round(v, 3)) for w, v in raw]
+        capacity = float(capacity_units)
+        dp = knapsack_cardinality(items, capacity, max_items=max_items, quantum=1.0)
+        reference = brute_force(items, capacity, max_items=max_items)
+        assert dp.total_value == pytest.approx(reference.total_value, abs=1e-6)
+        assert dp.count <= max_items
+        assert dp.total_weight <= capacity
+
+
+class TestKnapsackThreadCapped:
+    def test_thread_budget_respected(self):
+        items = items_of((10, 1.0, 180), (10, 1.0, 180), (10, 1.0, 60))
+        result = knapsack_thread_capped(items, 1000, thread_capacity=240, quantum=10)
+        assert result.total_threads <= 240
+        # Best feasible: one 180 + one 60 (240 exactly).
+        assert result.count == 2
+
+    def test_paper_zero_value_rule(self):
+        # Two 240-thread jobs can never co-pack under the cap.
+        items = items_of((10, 0.5, 240), (10, 0.5, 240))
+        result = knapsack_thread_capped(items, 1000, thread_capacity=240, quantum=10)
+        assert result.count == 1
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            knapsack_thread_capped([], 100, thread_capacity=0)
+        with pytest.raises(ValueError):
+            knapsack_thread_capped([], 100, thread_capacity=240, thread_quantum=0)
+
+    @settings(max_examples=60, deadline=None)
+    @given(
+        st.lists(
+            st.tuples(
+                st.integers(min_value=0, max_value=8),
+                st.floats(min_value=0, max_value=5, allow_nan=False),
+                st.integers(min_value=0, max_value=6),
+            ),
+            min_size=0,
+            max_size=9,
+        ),
+        st.integers(min_value=1, max_value=10),
+        st.integers(min_value=1, max_value=8),
+    )
+    def test_matches_brute_force(self, raw, capacity_units, thread_units):
+        items = [Item(weight=w, value=round(v, 3), threads=t) for w, v, t in raw]
+        capacity = float(capacity_units)
+        thread_capacity = thread_units
+        dp = knapsack_thread_capped(
+            items, capacity, thread_capacity=thread_capacity,
+            quantum=1.0, thread_quantum=1,
+        )
+        reference = brute_force(items, capacity, thread_capacity=thread_capacity)
+        assert dp.total_value == pytest.approx(reference.total_value, abs=1e-6)
+        assert dp.total_threads <= thread_capacity
+        assert dp.total_weight <= capacity
+
+
+class TestBruteForce:
+    def test_too_many_items_rejected(self):
+        with pytest.raises(ValueError):
+            brute_force([Item(1, 1)] * 21, 100)
+
+    def test_empty_set_feasible(self):
+        result = brute_force([], 10)
+        assert result.indices == ()

@@ -1,0 +1,219 @@
+"""Unit tests for the COSMIC middleware: admission, gating, affinity."""
+
+import pytest
+
+from repro.cosmic import (
+    AffinityError,
+    CoreSetAllocator,
+    Cosmic,
+    DeclaredMemoryEnforcer,
+)
+from repro.mpss import MemoryLimitExceeded
+from repro.phi import XeonPhi
+from repro.sim import Environment
+from repro.workloads import HostPhase, JobProfile, OffloadPhase
+
+
+@pytest.fixture
+def env():
+    return Environment()
+
+
+@pytest.fixture
+def cosmic(env):
+    return Cosmic(env, XeonPhi(env))
+
+
+class TestJobAdmission:
+    def test_admission_draws_down_pool(self, env, cosmic):
+        def run(env):
+            yield cosmic.admit_job(3000)
+
+        env.process(run(env))
+        env.run()
+        assert cosmic.free_declared_memory_mb == 8192 - 3000
+        assert cosmic.resident_jobs == 1
+        assert cosmic.stats.jobs_admitted == 1
+
+    def test_admission_blocks_until_release(self, env, cosmic):
+        admitted = []
+
+        def big(env):
+            yield cosmic.admit_job(6000)
+            admitted.append(("big", env.now))
+            yield env.timeout(10)
+            cosmic.release_job(6000)
+
+        def other(env):
+            yield cosmic.admit_job(4000)
+            admitted.append(("other", env.now))
+            cosmic.release_job(4000)
+
+        env.process(big(env))
+        env.process(other(env))
+        env.run()
+        assert admitted == [("big", 0), ("other", 10)]
+        assert cosmic.resident_jobs == 0
+        assert cosmic.stats.jobs_released == 2
+
+    def test_oversized_declaration_clamped_to_card(self, env, cosmic):
+        admitted = []
+
+        def run(env):
+            yield cosmic.admit_job(20_000)  # bigger than the 8 GB card
+            admitted.append(env.now)
+            cosmic.release_job(20_000)
+
+        env.process(run(env))
+        env.run()
+        assert admitted == [0]
+        assert cosmic.free_declared_memory_mb == 8192
+
+    def test_peak_concurrency_tracked(self, env, cosmic):
+        def run(env, mb):
+            yield cosmic.admit_job(mb)
+            yield env.timeout(5)
+            cosmic.release_job(mb)
+
+        for mb in (1000, 2000, 3000):
+            env.process(run(env, mb))
+        env.run()
+        assert cosmic.stats.peak_concurrent_jobs == 3
+
+
+class TestOffloadGate:
+    def test_grants_within_budget_immediately(self, env, cosmic):
+        times = []
+
+        def run(env, threads):
+            yield cosmic.acquire(threads)
+            times.append(env.now)
+            yield env.timeout(1)
+            cosmic.release(threads)
+
+        env.process(run(env, 120))
+        env.process(run(env, 120))
+        env.run()
+        assert times == [0, 0]
+        assert cosmic.free_threads == 240
+
+    def test_serializes_past_budget(self, env, cosmic):
+        times = []
+
+        def run(env, tag, threads, hold):
+            yield cosmic.acquire(threads)
+            times.append((tag, env.now))
+            yield env.timeout(hold)
+            cosmic.release(threads)
+
+        env.process(run(env, "a", 240, 5))
+        env.process(run(env, "b", 240, 5))
+        env.run()
+        assert times == [("a", 0), ("b", 5)]
+
+    def test_clamps_monster_offloads(self, env, cosmic):
+        times = []
+
+        def run(env):
+            yield cosmic.acquire(999)
+            times.append(env.now)
+            cosmic.release(999)
+
+        env.process(run(env))
+        env.run()
+        assert times == [0]
+        assert cosmic.free_threads == 240
+
+    def test_invalid_thread_counts_rejected(self, cosmic):
+        with pytest.raises(ValueError):
+            cosmic.acquire(0)
+        with pytest.raises(ValueError):
+            cosmic.release(-1)
+
+    def test_stats(self, env, cosmic):
+        def run(env):
+            yield cosmic.acquire(240)
+            yield env.timeout(1)
+            cosmic.release(240)
+
+        env.process(run(env))
+        env.run()
+        assert cosmic.stats.offloads_gated == 1
+        assert cosmic.stats.peak_gated_threads == 240
+
+    def test_repr(self, cosmic):
+        assert "free_threads=240" in repr(cosmic)
+
+
+class TestCoreSetAllocator:
+    def test_disjoint_assignments(self):
+        alloc = CoreSetAllocator()
+        a = alloc.assign("a", 120)  # 30 cores
+        b = alloc.assign("b", 120)  # 30 cores
+        assert len(a) == 30 and len(b) == 30
+        assert not set(a) & set(b)
+        assert alloc.free_cores == 0
+        assert alloc.verify_disjoint()
+
+    def test_release_recycles_cores(self):
+        alloc = CoreSetAllocator()
+        alloc.assign("a", 240)
+        alloc.release("a")
+        assert alloc.free_cores == 60
+        assert alloc.assignment_of("a") == ()
+
+    def test_over_allocation_raises(self):
+        alloc = CoreSetAllocator()
+        alloc.assign("a", 200)  # 50 cores
+        with pytest.raises(AffinityError):
+            alloc.assign("b", 60)  # needs 15, only 10 free
+
+    def test_double_assignment_raises(self):
+        alloc = CoreSetAllocator()
+        alloc.assign("a", 4)
+        with pytest.raises(AffinityError):
+            alloc.assign("a", 4)
+
+    def test_release_unknown_owner_is_noop(self):
+        CoreSetAllocator().release("ghost")
+
+    def test_cores_needed_rounds_up(self):
+        alloc = CoreSetAllocator(threads_per_core=4)
+        assert alloc.cores_needed(1) == 1
+        assert alloc.cores_needed(5) == 2
+        with pytest.raises(ValueError):
+            alloc.cores_needed(0)
+
+    def test_invalid_construction(self):
+        with pytest.raises(ValueError):
+            CoreSetAllocator(cores=0)
+
+
+class TestEnforcer:
+    def _job(self, declared):
+        return JobProfile(
+            job_id="j",
+            app="t",
+            phases=(HostPhase(1.0), OffloadPhase(work=1, threads=6, memory_mb=100)),
+            declared_memory_mb=declared,
+            declared_threads=60,
+        )
+
+    def test_within_limit_passes(self):
+        DeclaredMemoryEnforcer().check(self._job(1000), 999)
+
+    def test_over_limit_kills(self):
+        enforcer = DeclaredMemoryEnforcer()
+        with pytest.raises(MemoryLimitExceeded):
+            enforcer.check(self._job(1000), 1500)
+        assert enforcer.kills == ["j"]
+
+    def test_tolerance(self):
+        enforcer = DeclaredMemoryEnforcer(tolerance=0.10)
+        enforcer.check(self._job(1000), 1099)
+        with pytest.raises(MemoryLimitExceeded):
+            enforcer.check(self._job(1000), 1101)
+
+    def test_negative_tolerance_rejected(self):
+        with pytest.raises(ValueError):
+            DeclaredMemoryEnforcer(tolerance=-0.1)

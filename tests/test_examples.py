@@ -1,0 +1,67 @@
+"""Every example script must run clean (guards against doc rot)."""
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).resolve().parents[1] / "examples"
+
+
+def run_example(name: str, *args: str) -> str:
+    result = subprocess.run(
+        [sys.executable, str(EXAMPLES / name), *args],
+        capture_output=True,
+        text=True,
+        timeout=300,
+    )
+    assert result.returncode == 0, result.stderr
+    return result.stdout
+
+
+class TestExamples:
+    def test_quickstart(self):
+        out = run_example("quickstart.py")
+        assert "Knapsack packs" in out
+        assert "MCCK" in out
+
+    def test_real_workloads(self):
+        out = run_example("real_workloads.py", "60")
+        assert "Table II" in out
+        assert "footprint" in out.lower()
+
+    def test_sensitivity(self):
+        out = run_example("sensitivity.py", "60")
+        assert "Fig. 8" in out
+        assert "Fig. 9" in out
+
+    def test_oversubscription_demo(self):
+        out = run_example("oversubscription_demo.py")
+        assert "OOM kills" in out
+        assert "cosmic" in out
+
+    def test_dynamic_arrivals(self):
+        out = run_example("dynamic_arrivals.py")
+        assert "120/120 jobs completed" in out
+
+    def test_fig2_fig3_timelines(self):
+        out = run_example("fig2_fig3_timelines.py")
+        assert "Fig. 2" in out
+        assert "Fig. 3" in out
+        assert "saves" in out
+
+    def test_submit_file_workflow(self):
+        out = run_example("submit_file_workflow.py")
+        assert "parsed 40 jobs" in out
+        assert "all invariants hold" in out
+        assert "learned declaration" in out
+
+    def test_every_example_is_covered(self):
+        scripts = {p.name for p in EXAMPLES.glob("*.py")}
+        covered = {
+            "quickstart.py", "real_workloads.py", "sensitivity.py",
+            "oversubscription_demo.py", "dynamic_arrivals.py",
+            "fig2_fig3_timelines.py", "submit_file_workflow.py",
+        }
+        assert scripts == covered

@@ -1,0 +1,98 @@
+"""Unit tests for the Xeon Phi hardware spec and contention models."""
+
+import pytest
+
+from repro.phi import (
+    AffinitizedContention,
+    PAPER_SPEC,
+    UnmanagedContention,
+    XeonPhiSpec,
+    slowdown,
+)
+
+
+class TestSpec:
+    def test_paper_spec_matches_evaluation_platform(self):
+        assert PAPER_SPEC.cores == 60
+        assert PAPER_SPEC.hardware_threads == 240
+        assert PAPER_SPEC.memory_mb == 8192
+
+    def test_usable_memory_subtracts_reservation(self):
+        spec = XeonPhiSpec(memory_mb=8192, reserved_memory_mb=512)
+        assert spec.usable_memory_mb == 8192 - 512
+
+    @pytest.mark.parametrize(
+        "threads,cores",
+        [(0, 0), (1, 1), (4, 1), (5, 2), (60, 15), (120, 30), (240, 60), (241, 61)],
+    )
+    def test_cores_for_threads(self, threads, cores):
+        assert PAPER_SPEC.cores_for_threads(threads) == cores
+
+    def test_cores_for_negative_threads_rejected(self):
+        with pytest.raises(ValueError):
+            PAPER_SPEC.cores_for_threads(-1)
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"cores": 0},
+            {"threads_per_core": 0},
+            {"memory_mb": 0},
+            {"memory_mb": 100, "reserved_memory_mb": 100},
+            {"reserved_memory_mb": -1},
+        ],
+    )
+    def test_invalid_specs_rejected(self, kwargs):
+        with pytest.raises(ValueError):
+            XeonPhiSpec(**kwargs)
+
+
+class TestAffinitizedContention:
+    def test_full_speed_within_budget(self):
+        model = AffinitizedContention()
+        for threads in (0, 1, 120, 240):
+            assert model.rate(threads, PAPER_SPEC) == 1.0
+
+    def test_oversubscription_slows_down(self):
+        model = AffinitizedContention()
+        assert model.rate(480, PAPER_SPEC) < 0.5  # worse than fair share
+
+    def test_slowdown_monotone_in_demand(self):
+        model = AffinitizedContention()
+        rates = [model.rate(t, PAPER_SPEC) for t in range(240, 1200, 60)]
+        assert all(a >= b for a, b in zip(rates, rates[1:]))
+
+    def test_calibration_matches_cosmic_800_percent(self):
+        # [6] reports up to 8x degradation; our model reaches that by
+        # oversubscription ratio 2.5.
+        model = AffinitizedContention()
+        assert slowdown(model, 600, PAPER_SPEC) == pytest.approx(8.125)
+
+    def test_negative_demand_rejected(self):
+        with pytest.raises(ValueError):
+            AffinitizedContention().rate(-1, PAPER_SPEC)
+
+
+class TestUnmanagedContention:
+    def test_interference_below_budget(self):
+        model = UnmanagedContention()
+        # Without affinitization, even a within-budget mix loses a little.
+        assert model.rate(240, PAPER_SPEC) < 1.0
+        assert model.rate(240, PAPER_SPEC) > 0.8
+
+    def test_idle_device_full_speed_single_tiny_offload(self):
+        model = UnmanagedContention(interference=0.15)
+        # A tiny offload on an empty device barely suffers.
+        assert model.rate(4, PAPER_SPEC) > 0.99
+
+    def test_worse_than_affinitized(self):
+        managed = AffinitizedContention()
+        unmanaged = UnmanagedContention()
+        for threads in (60, 240, 480):
+            assert unmanaged.rate(threads, PAPER_SPEC) < managed.rate(
+                threads, PAPER_SPEC
+            )
+
+    def test_negative_demand_rejected(self):
+        with pytest.raises(ValueError):
+            UnmanagedContention().rate(-5, PAPER_SPEC)

@@ -1,0 +1,102 @@
+"""Unit tests for the step-series telemetry used for utilization."""
+
+import pytest
+
+from repro.phi import DeviceTelemetry, StepSeries
+
+
+class TestStepSeries:
+    def test_empty_integral_is_zero(self):
+        assert StepSeries().integral(0, 100) == 0.0
+
+    def test_constant_segment(self):
+        s = StepSeries()
+        s.record(0, 30)
+        assert s.integral(0, 10) == 300
+
+    def test_two_segments(self):
+        s = StepSeries()
+        s.record(0, 10)
+        s.record(5, 20)
+        assert s.integral(0, 10) == 10 * 5 + 20 * 5
+
+    def test_clipping_window(self):
+        s = StepSeries()
+        s.record(0, 10)
+        s.record(10, 0)
+        assert s.integral(5, 15) == 10 * 5
+
+    def test_window_before_first_record(self):
+        s = StepSeries()
+        s.record(10, 7)
+        assert s.integral(0, 10) == 0.0
+
+    def test_same_instant_update_overwrites(self):
+        s = StepSeries()
+        s.record(0, 10)
+        s.record(0, 20)
+        assert s.integral(0, 1) == 20
+        assert len(s) == 1
+
+    def test_no_change_is_compacted(self):
+        s = StepSeries()
+        s.record(0, 5)
+        s.record(3, 5)
+        assert len(s) == 1
+
+    def test_time_must_not_decrease(self):
+        s = StepSeries()
+        s.record(5, 1)
+        with pytest.raises(ValueError):
+            s.record(4, 2)
+
+    def test_value_at(self):
+        s = StepSeries()
+        s.record(0, 1)
+        s.record(10, 2)
+        assert s.value_at(-1) == 0
+        assert s.value_at(0) == 1
+        assert s.value_at(9.99) == 1
+        assert s.value_at(10) == 2
+        assert s.value_at(1e9) == 2
+
+    def test_mean(self):
+        s = StepSeries()
+        s.record(0, 0)
+        s.record(5, 10)
+        assert s.mean(0, 10) == pytest.approx(5.0)
+
+    def test_mean_of_empty_window(self):
+        s = StepSeries()
+        s.record(0, 3)
+        assert s.mean(5, 5) == 0.0
+
+    def test_invalid_integral_bounds(self):
+        with pytest.raises(ValueError):
+            StepSeries().integral(10, 5)
+
+    def test_iteration(self):
+        s = StepSeries()
+        s.record(0, 1)
+        s.record(2, 3)
+        assert list(s) == [(0, 1), (2, 3)]
+
+
+class TestDeviceTelemetry:
+    def test_core_utilization(self):
+        t = DeviceTelemetry()
+        t.busy_cores.record(0, 30)  # half of 60 cores busy
+        assert t.core_utilization(60, 0, 100) == pytest.approx(0.5)
+
+    def test_idle_device_utilization_zero(self):
+        t = DeviceTelemetry()
+        assert t.core_utilization(60, 0, 10) == 0.0
+
+    def test_invalid_core_count(self):
+        with pytest.raises(ValueError):
+            DeviceTelemetry().core_utilization(0, 0, 10)
+
+    def test_zero_window(self):
+        t = DeviceTelemetry()
+        t.busy_cores.record(0, 60)
+        assert t.core_utilization(60, 5, 5) == 0.0
