@@ -24,7 +24,7 @@ from typing import Optional
 
 from ..sim import Environment
 from .ads import MachineSnapshot, machine_ad
-from .classad import symmetric_match
+from .classad import Literal, symmetric_match
 from .collector import Collector
 from .schedd import JobRecord, Schedd
 
@@ -275,6 +275,11 @@ class Negotiator:
         for record in self.schedd.pending():
             if self.policy.exhausted(snapshots):
                 break
+            req = record.ad.get_expr("Requirements")
+            if isinstance(req, Literal) and req.value is False:
+                # Parked by the external scheduler: skip matchmaking
+                # outright (dominant cost with 10k+ parked jobs queued).
+                continue
             if not self.policy.prefilter(record, snapshots):
                 continue
             placement = self._match(record, snapshots, ads)

@@ -54,6 +54,12 @@ class Schedd:
         self._seq = 0
         #: Callbacks invoked with the JobRecord whenever a job completes.
         self.completion_listeners: list[Callable[[JobRecord], None]] = []
+        #: Callbacks invoked with the JobRecord right after submission —
+        #: the hook an external scheduler uses to park new arrivals before
+        #: the vanilla negotiator can dispatch them.
+        self.submit_listeners: list[Callable[[JobRecord], None]] = []
+        #: Callbacks invoked with the JobRecord when a job starts running.
+        self.start_listeners: list[Callable[[JobRecord], None]] = []
         #: Event that triggers once every submitted job has left the queue.
         self._all_done: Optional[Event] = None
 
@@ -77,6 +83,8 @@ class Schedd:
             completion=self.env.event(),
         )
         self._records[profile.job_id] = record
+        for listener in list(self.submit_listeners):
+            listener(record)
         return record
 
     def submit_many(
@@ -145,6 +153,8 @@ class Schedd:
         record.matched_node = node
         record.matched_device = device
         record.ad["JobStatus"] = RUNNING
+        for listener in list(self.start_listeners):
+            listener(record)
 
     def mark_completed(self, job_id: str, result: JobRunResult) -> None:
         record = self._records[job_id]

@@ -18,8 +18,28 @@ Three exact solvers are provided:
 
 plus :func:`brute_force` for property-testing the DPs on small inputs.
 
-All solvers quantize weights with ``ceil`` so a returned packing never
-exceeds the true capacity.
+Memory model
+------------
+The solvers recover the chosen subset with Hirschberg-style
+divide-and-conquer backtracking instead of a dense ``n x W (x K)``
+``take`` tensor: each recursion level runs value-only forward DPs over
+both item halves, finds the capacity split between them, and recurses.
+The geometric shrinking of the halves keeps total work at ~2x a single
+forward DP (still O(n·W) / O(n·W·K)), while live memory drops from
+O(n·W·K) to O(W·K·log n) — independent of the queue length, which is
+what lets the Fig. 4 hot path repack against 10k–100k pending jobs.
+
+Quantization
+------------
+Weights and capacity are quantized on a *consistent* grid: weights round
+up (``ceil``) and the capacity rounds down, but an item whose true
+weight fits the true capacity while straddling the capacity's partial
+trailing quantum is clamped to the quantized capacity. Such an item
+occupies ``(quantum·W, capacity]``, so nothing but zero-weight items can
+truly share the knapsack with it — clamping keeps it packable alone
+without ever admitting an overweight packing. (Previously an item with
+``weight == capacity`` was silently unpackable whenever the capacity was
+not a quantum multiple.)
 """
 
 from __future__ import annotations
@@ -72,6 +92,45 @@ def _quantize(weight: float, quantum: float) -> int:
     return int(math.ceil(weight / quantum - 1e-12))
 
 
+def _consistent_grid(
+    raw: Sequence[float], capacity: float, quantum: float
+) -> tuple[int, list[int]]:
+    """Quantize ``capacity`` and per-item weights on one grid.
+
+    Returns ``(W, weights)`` such that
+
+    * any item with true weight <= capacity gets a quantized weight <= W
+      (it stays packable alone), and
+    * any packing feasible in quantized arithmetic is feasible in true
+      weights (never overweight).
+
+    Items that cannot fit even alone get weight ``W + 1``.
+    """
+    W = int(math.floor(capacity / quantum + 1e-12))
+    weights: list[int] = []
+    if W == 0:
+        # Sub-quantum capacity: any two fitting positive-weight items may
+        # still be truly overweight, so admit at most one at a time.
+        W = 1 if capacity > 0 else 0
+        for w in raw:
+            if w <= 0:
+                weights.append(0)
+            elif w <= capacity:
+                weights.append(1)
+            else:
+                weights.append(W + 1)
+        return W, weights
+    for w in raw:
+        q = _quantize(w, quantum)
+        if q > W and w <= capacity:
+            # Exact fit inside the capacity's partial trailing quantum:
+            # the item occupies (quantum*W, capacity], so only zero-weight
+            # items can truly join it — clamping to W is overweight-safe.
+            q = W
+        weights.append(q)
+    return W, weights
+
+
 def _result(items: Sequence[Item], chosen: list[int]) -> PackResult:
     chosen_sorted = tuple(sorted(chosen))
     return PackResult(
@@ -82,6 +141,110 @@ def _result(items: Sequence[Item], chosen: list[int]) -> PackResult:
     )
 
 
+# -- value-only forward DPs (no take tensors) --------------------------------
+
+
+def _dp_values_1d(
+    weights: Sequence[int], values: Sequence[float], lo: int, hi: int, W: int
+) -> np.ndarray:
+    """Best value of items[lo:hi] at every capacity 0..W ("at most" semantics)."""
+    dp = np.zeros(W + 1)
+    for i in range(lo, hi):
+        w, v = weights[i], values[i]
+        if w > W or v <= 0:
+            continue
+        if w == 0:
+            dp += v
+        else:
+            # The addition materializes a temp from the pre-update dp, so
+            # the in-place maximum keeps 0-1 (not unbounded) semantics.
+            np.maximum(dp[w:], dp[: W + 1 - w] + v, out=dp[w:])
+    return dp
+
+
+def _dp_values_2d(
+    weights: Sequence[int],
+    costs: Sequence[int],
+    values: Sequence[float],
+    lo: int,
+    hi: int,
+    W: int,
+    K: int,
+) -> np.ndarray:
+    """2-D variant: second dimension is item count or quantized threads."""
+    dp = np.zeros((W + 1, K + 1))
+    for i in range(lo, hi):
+        w, k, v = weights[i], costs[i], values[i]
+        if w > W or k > K or v <= 0:
+            continue
+        if w == 0 and k == 0:
+            dp += v
+        else:
+            np.maximum(
+                dp[w:, k:], dp[: W + 1 - w, : K + 1 - k] + v, out=dp[w:, k:]
+            )
+    return dp
+
+
+# -- divide-and-conquer reconstruction ---------------------------------------
+
+
+def _backtrack_1d(
+    weights: Sequence[int],
+    values: Sequence[float],
+    lo: int,
+    hi: int,
+    W: int,
+    chosen: list[int],
+) -> None:
+    """Append the optimal subset of items[lo:hi] at capacity W to ``chosen``."""
+    if lo >= hi or W < 0:
+        return
+    if hi - lo == 1:
+        if values[lo] > 0 and weights[lo] <= W:
+            chosen.append(lo)
+        return
+    mid = (lo + hi) // 2
+    left = _dp_values_1d(weights, values, lo, mid, W)
+    right = _dp_values_1d(weights, values, mid, hi, W)
+    # Optimal split of the capacity between the halves ("at most"
+    # semantics makes both profiles monotone, so one pass suffices).
+    split = int(np.argmax(left + right[::-1]))
+    _backtrack_1d(weights, values, lo, mid, split, chosen)
+    _backtrack_1d(weights, values, mid, hi, W - split, chosen)
+
+
+def _backtrack_2d(
+    weights: Sequence[int],
+    costs: Sequence[int],
+    values: Sequence[float],
+    lo: int,
+    hi: int,
+    W: int,
+    K: int,
+    chosen: list[int],
+) -> None:
+    if lo >= hi or W < 0 or K < 0:
+        return
+    if hi - lo == 1:
+        if values[lo] > 0 and weights[lo] <= W and costs[lo] <= K:
+            chosen.append(lo)
+        return
+    mid = (lo + hi) // 2
+    left = _dp_values_2d(weights, costs, values, lo, mid, W, K)
+    right = _dp_values_2d(weights, costs, values, mid, hi, W, K)
+    m, k = np.unravel_index(
+        int(np.argmax(left + right[::-1, ::-1])), left.shape
+    )
+    _backtrack_2d(weights, costs, values, lo, mid, int(m), int(k), chosen)
+    _backtrack_2d(
+        weights, costs, values, mid, hi, W - int(m), K - int(k), chosen
+    )
+
+
+# -- public solvers -----------------------------------------------------------
+
+
 def knapsack_1d(
     items: Sequence[Item],
     capacity: float,
@@ -89,39 +252,18 @@ def knapsack_1d(
 ) -> PackResult:
     """The paper's DP: maximize total value within the memory capacity.
 
-    O(n * w) with w = capacity / quantum, vectorized over the capacity
-    axis with NumPy.
+    O(n * w) time with w = capacity / quantum (vectorized over the
+    capacity axis with NumPy), O(w * log n) live memory.
     """
     _validate(capacity, quantum)
-    n = len(items)
-    W = int(capacity // quantum)
-    if n == 0:
+    if len(items) == 0:
         return _result(items, [])
-
-    weights = [_quantize(item.weight, quantum) for item in items]
-    dp = np.zeros(W + 1)
-    take = np.zeros((n, W + 1), dtype=bool)
-    for i, item in enumerate(items):
-        w = weights[i]
-        if w > W:
-            continue
-        if w == 0:
-            if item.value > 0:
-                dp += item.value
-                take[i, :] = True
-            continue
-        candidate = np.full(W + 1, -np.inf)
-        candidate[w:] = dp[: W + 1 - w] + item.value
-        better = candidate > dp + _TIE_EPS
-        take[i] = better
-        np.copyto(dp, candidate, where=better)
-
+    W, weights = _consistent_grid(
+        [item.weight for item in items], capacity, quantum
+    )
+    values = [item.value for item in items]
     chosen: list[int] = []
-    m = W
-    for i in range(n - 1, -1, -1):
-        if take[i, m]:
-            chosen.append(i)
-            m -= weights[i]
+    _backtrack_1d(weights, values, 0, len(items), W, chosen)
     return _result(items, chosen)
 
 
@@ -140,34 +282,16 @@ def knapsack_cardinality(
     if max_items < 0:
         raise ValueError("max_items must be non-negative")
     n = len(items)
-    W = int(capacity // quantum)
     K = min(max_items, n)
     if n == 0 or K == 0:
         return _result(items, [])
-
-    weights = [_quantize(item.weight, quantum) for item in items]
-    dp = np.full((W + 1, K + 1), -np.inf)
-    dp[:, 0] = 0.0
-    take = np.zeros((n, W + 1, K + 1), dtype=bool)
-    for i, item in enumerate(items):
-        w = weights[i]
-        if w > W:
-            continue
-        candidate = np.full((W + 1, K + 1), -np.inf)
-        candidate[w:, 1:] = dp[: W + 1 - w, :K] + item.value
-        better = candidate > dp + _TIE_EPS
-        take[i] = better
-        np.copyto(dp, candidate, where=better)
-
-    # Best cell in the last row (capacity W, any count).
-    best_k = int(np.argmax(dp[W]))
+    W, weights = _consistent_grid(
+        [item.weight for item in items], capacity, quantum
+    )
+    values = [item.value for item in items]
+    costs = [1] * n  # every item occupies one host slot
     chosen: list[int] = []
-    m, k = W, best_k
-    for i in range(n - 1, -1, -1):
-        if take[i, m, k]:
-            chosen.append(i)
-            m -= weights[i]
-            k -= 1
+    _backtrack_2d(weights, costs, values, 0, n, W, K, chosen)
     return _result(items, chosen)
 
 
@@ -186,39 +310,19 @@ def knapsack_thread_capped(
     if thread_quantum <= 0:
         raise ValueError("thread_quantum must be positive")
     n = len(items)
-    W = int(capacity // quantum)
-    T = thread_capacity // thread_quantum
     if n == 0:
         return _result(items, [])
-
-    weights = [_quantize(item.weight, quantum) for item in items]
-    threads = [
-        int(math.ceil(item.threads / thread_quantum - 1e-12)) for item in items
-    ]
-    # All-zeros init gives "at most (m, t)" semantics: every cell is
-    # reachable as the empty packing.
-    dp = np.zeros((W + 1, T + 1))
-    take = np.zeros((n, W + 1, T + 1), dtype=bool)
-    for i, item in enumerate(items):
-        w, t = weights[i], threads[i]
-        if w > W or t > T:
-            continue
-        candidate = np.full((W + 1, T + 1), -np.inf)
-        candidate[w:, t:] = (
-            dp[: W + 1 - w, : T + 1 - t] + item.value
-        )
-        better = candidate > dp + _TIE_EPS
-        take[i] = better
-        np.copyto(dp, candidate, where=better)
-
-    best_t = int(np.argmax(dp[W]))
+    W, weights = _consistent_grid(
+        [item.weight for item in items], capacity, quantum
+    )
+    T, threads = _consistent_grid(
+        [float(item.threads) for item in items],
+        float(thread_capacity),
+        float(thread_quantum),
+    )
+    values = [item.value for item in items]
     chosen: list[int] = []
-    m, tt = W, best_t
-    for i in range(n - 1, -1, -1):
-        if take[i, m, tt]:
-            chosen.append(i)
-            m -= weights[i]
-            tt -= threads[i]
+    _backtrack_2d(weights, threads, values, 0, n, W, T, chosen)
     return _result(items, chosen)
 
 

@@ -80,6 +80,17 @@ class DevicePacker:
         self.value_fn = value_fn or paper_value_floored
         self.quantum_mb = quantum_mb
         self.thread_capacity = thread_capacity
+        # Declared thread counts cluster on a handful of values, and the
+        # value function is pure, so memoizing per thread count removes
+        # the per-item evaluation from the repack hot path.
+        self._value_cache: dict[int, float] = {}
+
+    def _item_value(self, declared_threads: int) -> float:
+        cached = self._value_cache.get(declared_threads)
+        if cached is None:
+            cached = max(self.value_fn(declared_threads), 0.0)
+            self._value_cache[declared_threads] = cached
+        return cached
 
     def pack(
         self,
@@ -97,7 +108,7 @@ class DevicePacker:
         items = [
             Item(
                 weight=job.declared_memory_mb,
-                value=max(self.value_fn(job.declared_threads), 0.0),
+                value=self._item_value(job.declared_threads),
                 threads=job.declared_threads,
             )
             for job in jobs

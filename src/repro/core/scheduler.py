@@ -76,6 +76,19 @@ class KnapsackClusterScheduler:
         self._node_active: dict[str, int] = {}
         self.decisions: list[PackingDecision] = []
         self._attached = False
+        # Incremental index of unassigned idle jobs (FIFO order), updated
+        # on submit / assign / complete instead of rescanning the queue.
+        self._pending_index: dict[str, JobRecord] = {}
+        self._pending_ordered = True
+        self._last_fifo_key: tuple[float, int] = (float("-inf"), 0)
+        self._parked: set[str] = set()
+        # Same-timestep completions coalesce into one repack pass.
+        self._dirty_devices: set[tuple[str, int]] = set()
+        self._repack_scheduled = False
+        #: Completion-triggered repack passes actually run.
+        self.repack_passes = 0
+        #: Completions absorbed into an already-scheduled pass.
+        self.coalesced_completions = 0
 
     # -- lifecycle -----------------------------------------------------------
 
@@ -95,6 +108,9 @@ class KnapsackClusterScheduler:
                 self._capacity[key] = device.memory_mb
                 self._committed[key] = 0.0
         self.schedd.completion_listeners.append(self._on_completion)
+        self.schedd.submit_listeners.append(self._on_submit)
+        for record in self.schedd.pending():
+            self._index_add(record)
         self.schedule_pending()
 
     # -- the Fig. 4 loop -------------------------------------------------------
@@ -111,12 +127,55 @@ class KnapsackClusterScheduler:
         self._park_unassigned()
         return assigned
 
+    # -- pending-job index -----------------------------------------------------
+
+    def _index_add(self, record: JobRecord) -> None:
+        key = (record.profile.submit_time, record.seq)
+        if key < self._last_fifo_key:
+            # Out-of-order submit time: fall back to a lazy re-sort.
+            self._pending_ordered = False
+        else:
+            self._last_fifo_key = key
+        self._pending_index[record.job_id] = record
+
+    def _on_submit(self, record: JobRecord) -> None:
+        """Index — and immediately park — a post-attach arrival.
+
+        Without the parking edit the job keeps its default Requirements
+        until the next repack, and the vanilla negotiator is free to
+        dispatch it to an arbitrary node, bypassing sharing-aware
+        placement entirely.
+        """
+        self._index_add(record)
+        self.schedd.qedit(record.job_id, "Requirements", PARK_EXPRESSION)
+        self._parked.add(record.job_id)
+
     def _unassigned_pending(self) -> list[JobRecord]:
-        return [
-            record
-            for record in self.schedd.pending()
-            if record.job_id not in self._assignment
+        """Unassigned idle jobs in FIFO order, from the incremental index.
+
+        O(1) amortized maintenance per queue event; listing is linear in
+        the *unassigned* count only (never the full job history). Entries
+        that left the idle state outside our control are purged lazily.
+        """
+        if not self._pending_ordered:
+            ordered = sorted(
+                self._pending_index.values(),
+                key=lambda r: (r.profile.submit_time, r.seq),
+            )
+            self._pending_index = {r.job_id: r for r in ordered}
+            self._pending_ordered = True
+            if ordered:
+                last = ordered[-1]
+                self._last_fifo_key = (last.profile.submit_time, last.seq)
+        stale = [
+            job_id
+            for job_id, record in self._pending_index.items()
+            if record.status != IDLE
         ]
+        for job_id in stale:
+            del self._pending_index[job_id]
+            self._parked.discard(job_id)
+        return list(self._pending_index.values())
 
     def _pack_device(self, node: str, device: int) -> int:
         key = (node, device)
@@ -167,6 +226,8 @@ class KnapsackClusterScheduler:
                 self._assignment[job_id] = key
                 self._committed[key] += record.profile.declared_memory_mb
                 self._node_active[node] += 1
+                self._pending_index.pop(job_id, None)
+                self._parked.discard(job_id)
                 edits.append(
                     (
                         job_id,
@@ -180,25 +241,49 @@ class KnapsackClusterScheduler:
         return len(packing.chosen)
 
     def _park_unassigned(self) -> None:
-        edits = [
-            (record.job_id, "Requirements", PARK_EXPRESSION)
-            for record in self._unassigned_pending()
-            if record.ad.evaluate("Requirements") is not False
-        ]
+        edits = []
+        for record in self._unassigned_pending():
+            if record.job_id in self._parked:
+                continue  # parked at submission; nothing to re-evaluate
+            if record.ad.evaluate("Requirements") is not False:
+                edits.append((record.job_id, "Requirements", PARK_EXPRESSION))
+            self._parked.add(record.job_id)
         if edits:
             self.schedd.qedit_batch(edits)
 
     def _on_completion(self, record: JobRecord) -> None:
         key = self._assignment.pop(record.job_id, None)
         if key is None:
-            return  # not ours (e.g., dispatched before attach)
+            # Not ours (e.g., dispatched before attach); drop any index
+            # remnants so the job cannot be offered to the packer again.
+            self._pending_index.pop(record.job_id, None)
+            self._parked.discard(record.job_id)
+            return
         node, device = key
         self._committed[key] = max(
             0.0, self._committed[key] - record.profile.declared_memory_mb
         )
         self._node_active[node] -= 1
-        # Fig. 4: "create knapsack: capacity = free memory in D".
-        self._pack_device(node, device)
+        # Fig. 4: "create knapsack: capacity = free memory in D" — but
+        # coalesced: N completions landing on the same timestep mark their
+        # devices dirty and trigger ONE zero-delay repack pass, not N
+        # full knapsack fills.
+        self._dirty_devices.add(key)
+        if self._repack_scheduled:
+            self.coalesced_completions += 1
+            return
+        self._repack_scheduled = True
+        trigger = self.env.event()
+        trigger.callbacks.append(self._coalesced_repack)
+        trigger.succeed()
+
+    def _coalesced_repack(self, _event) -> None:
+        self._repack_scheduled = False
+        dirty = sorted(self._dirty_devices)
+        self._dirty_devices.clear()
+        self.repack_passes += 1
+        for node, device in dirty:
+            self._pack_device(node, device)
 
     def start_periodic(self, interval: float):
         """Also re-pack on a timer (for dynamic-arrival scenarios).

@@ -127,8 +127,11 @@ class Environment:
         """
         if until is not None and not isinstance(until, Event):
             at = float(until)
-            if at <= self._now:
-                raise ValueError(f"until={at} must lie in the future (now={self._now})")
+            if at < self._now:
+                raise ValueError(f"until={at} must not lie in the past (now={self._now})")
+            if at == self._now:
+                # Target time already reached (simpy semantics): no-op.
+                return None
             until = Event(self)
             until._ok = True
             until._value = None

@@ -55,6 +55,22 @@ class TestSubmission:
         schedd.submit_many([make_profile(f"j{i}") for i in range(5)])
         assert schedd.total_jobs == 5
 
+    def test_submit_listeners_fire_on_submission(self, schedd):
+        seen = []
+        schedd.submit_listeners.append(lambda r: seen.append(r.job_id))
+        schedd.submit(make_profile("a"))
+        schedd.submit_many([make_profile("b"), make_profile("c")])
+        assert seen == ["a", "b", "c"]
+
+    def test_submit_listener_may_qedit_new_job(self, schedd):
+        # The external scheduler parks arrivals from this hook; the job
+        # must still be idle (editable) when the listener runs.
+        schedd.submit_listeners.append(
+            lambda r: schedd.qedit(r.job_id, "Requirements", "false")
+        )
+        record = schedd.submit(make_profile("a"))
+        assert record.ad.evaluate("Requirements") is False
+
 
 class TestQedit:
     def test_qedit_rewrites_requirements(self, schedd):
@@ -108,6 +124,15 @@ class TestLifecycle:
         schedd.mark_completed("j1", result_for("j1"))
         env.run()
         assert record.completion.value.job_id == "j1"
+
+    def test_start_listeners_fire_on_dispatch(self, schedd):
+        seen = []
+        schedd.start_listeners.append(
+            lambda r: seen.append((r.job_id, r.matched_node))
+        )
+        schedd.submit(make_profile("a"))
+        schedd.mark_running("a", "n0", 0)
+        assert seen == [("a", "n0")]
 
     def test_completion_listeners(self, schedd):
         seen = []

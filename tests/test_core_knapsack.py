@@ -204,3 +204,166 @@ class TestBruteForce:
     def test_empty_set_feasible(self):
         result = brute_force([], 10)
         assert result.indices == ()
+
+
+class TestQuantizationGrid:
+    """The ceil-weights / floor-capacity inconsistency (regression).
+
+    The seed paired ceil-quantized weights with a floor-quantized
+    capacity, so an item that exactly fits was unpackable whenever the
+    capacity was not a quantum multiple.
+    """
+
+    def test_exact_fit_item_packable(self):
+        # ISSUE example: item = capacity = 75 MB, quantum = 50.
+        result = knapsack_1d([Item(75, 1.0)], 75, quantum=50)
+        assert result.indices == (0,)
+
+    def test_exact_fit_under_all_solvers(self):
+        items = [Item(75, 1.0, threads=8)]
+        assert knapsack_1d(items, 75, quantum=50).indices == (0,)
+        assert knapsack_cardinality(items, 75, 4, quantum=50).indices == (0,)
+        capped = knapsack_thread_capped(items, 75, 240, quantum=50)
+        assert capped.indices == (0,)
+
+    def test_partial_quantum_never_admits_overweight(self):
+        # Capacity 55, quantum 50: floor grid W=1. Two 30 MB items would
+        # be overweight (60 > 55) and must not both pack.
+        result = knapsack_1d([Item(30, 1.0), Item(30, 1.0)], 55, quantum=50)
+        assert result.count == 1
+        assert result.total_weight <= 55
+
+    def test_sub_quantum_capacity_packs_one_fitting_item(self):
+        # Capacity 40 < quantum 50: exactly one fitting item may pack.
+        items = [Item(30, 1.0), Item(30, 2.0), Item(45, 5.0)]
+        result = knapsack_1d(items, 40, quantum=50)
+        assert result.indices == (1,)  # best single fitting item
+
+    def test_thread_grid_exact_fit(self):
+        # 3 threads under a thread quantum of 4 with budget 3: the old
+        # floor/ceil mismatch excluded the job outright.
+        items = [Item(10, 1.0, threads=3)]
+        result = knapsack_thread_capped(
+            items, 1000, thread_capacity=3, quantum=10, thread_quantum=4
+        )
+        assert result.indices == (0,)
+
+    @settings(max_examples=120, deadline=None)
+    @given(
+        st.lists(
+            st.tuples(
+                st.floats(min_value=0, max_value=12, allow_nan=False),
+                st.floats(min_value=0, max_value=5, allow_nan=False),
+            ),
+            min_size=1,
+            max_size=8,
+        ),
+        st.floats(min_value=0, max_value=15, allow_nan=False),
+        st.floats(min_value=0.3, max_value=7, allow_nan=False),
+    )
+    def test_feasible_and_single_fit(self, raw, capacity, quantum):
+        """Arbitrary (non-grid) weights: never overweight, and any item
+        that truly fits is packable alone."""
+        items = [Item(weight=w, value=round(v, 3)) for w, v in raw]
+        result = knapsack_1d(items, capacity, quantum=quantum)
+        assert result.total_weight <= capacity + 1e-9
+        for item in items:
+            if item.weight <= capacity and item.value > 0:
+                alone = knapsack_1d([item], capacity, quantum=quantum)
+                assert alone.indices == (0,)
+
+
+class TestPropertyCrossCheck:
+    """All three solvers vs brute_force on quantum-grid weights with
+    non-multiple capacities, zero-weight / zero-value items included."""
+
+    @settings(max_examples=100, deadline=None)
+    @given(
+        st.lists(
+            st.tuples(
+                st.integers(min_value=0, max_value=8),  # weight in quanta
+                st.floats(min_value=0, max_value=5, allow_nan=False),
+                st.integers(min_value=0, max_value=3),  # threads in quanta
+            ),
+            min_size=0,
+            max_size=9,
+        ),
+        st.floats(min_value=0, max_value=12, allow_nan=False),  # non-multiple
+        st.floats(min_value=0.5, max_value=3, allow_nan=False),
+        st.integers(min_value=0, max_value=5),
+        st.integers(min_value=1, max_value=10),
+        st.integers(min_value=1, max_value=4),
+    )
+    def test_all_solvers_match_brute_force(
+        self, raw, capacity_units, quantum, max_items, thread_units, thread_quantum
+    ):
+        # Weights/threads on the quantum grid keep the DP exact even when
+        # the capacities are not grid multiples.
+        items = [
+            Item(
+                weight=w * quantum,
+                value=round(v, 3),
+                threads=t * thread_quantum,
+            )
+            for w, v, t in raw
+        ]
+        capacity = capacity_units * quantum
+        thread_capacity = thread_units * thread_quantum
+
+        plain = knapsack_1d(items, capacity, quantum=quantum)
+        reference = brute_force(items, capacity)
+        assert plain.total_value == pytest.approx(
+            reference.total_value, abs=1e-6
+        )
+        assert plain.total_weight <= capacity + 1e-9
+
+        card = knapsack_cardinality(
+            items, capacity, max_items=max_items, quantum=quantum
+        )
+        reference = brute_force(items, capacity, max_items=max_items)
+        assert card.total_value == pytest.approx(
+            reference.total_value, abs=1e-6
+        )
+        assert card.count <= max_items
+        assert card.total_weight <= capacity + 1e-9
+
+        capped = knapsack_thread_capped(
+            items,
+            capacity,
+            thread_capacity=thread_capacity,
+            quantum=quantum,
+            thread_quantum=thread_quantum,
+        )
+        reference = brute_force(items, capacity, thread_capacity=thread_capacity)
+        assert capped.total_value == pytest.approx(
+            reference.total_value, abs=1e-6
+        )
+        assert capped.total_threads <= thread_capacity
+        assert capped.total_weight <= capacity + 1e-9
+
+    @settings(max_examples=60, deadline=None)
+    @given(
+        st.lists(
+            st.tuples(
+                st.integers(min_value=0, max_value=8),
+                st.floats(min_value=0, max_value=5, allow_nan=False),
+                st.integers(min_value=0, max_value=8),
+            ),
+            min_size=0,
+            max_size=9,
+        ),
+        st.integers(min_value=0, max_value=12),
+    )
+    def test_unconstrained_dimensions_agree_with_1d(self, raw, capacity_units):
+        """A slack count bound / thread budget must not change the optimum."""
+        items = [Item(weight=w, value=round(v, 3), threads=t) for w, v, t in raw]
+        capacity = float(capacity_units)
+        plain = knapsack_1d(items, capacity, quantum=1.0)
+        card = knapsack_cardinality(
+            items, capacity, max_items=len(items), quantum=1.0
+        )
+        capped = knapsack_thread_capped(
+            items, capacity, thread_capacity=1000, quantum=1.0, thread_quantum=1
+        )
+        assert card.total_value == pytest.approx(plain.total_value, abs=1e-6)
+        assert capped.total_value == pytest.approx(plain.total_value, abs=1e-6)

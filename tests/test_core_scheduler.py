@@ -167,6 +167,130 @@ class TestFig4Loop:
         assert len(pool.schedd.completed()) == 3
 
 
+class TestParkingOnSubmission:
+    """Regression: post-attach arrivals must never reach the vanilla
+    negotiator with their default Requirements (the parking leak)."""
+
+    def test_late_arrival_parked_immediately(self, env):
+        pool = build(env, nodes=1)
+        pool.submit([make_profile("first", memory=1000, work=10, host=0)])
+        scheduler = KnapsackClusterScheduler(pool)
+        scheduler.attach()
+        pool.submit([make_profile("late", memory=1000, work=2, host=0)])
+        record = pool.schedd.get("late")
+        assert record.ad.evaluate("Requirements") is False
+
+    def test_no_job_starts_without_assignment(self, env):
+        # Long cycle gap + no manual schedule_pending: pre-fix, the
+        # vanilla negotiator dispatched the late arrivals to arbitrary
+        # nodes before the scheduler ever saw them.
+        pool = build(env, nodes=2, cycle=1.0)
+        pool.submit([make_profile(f"j{i}", memory=2000, work=4, host=0)
+                     for i in range(6)])
+        scheduler = KnapsackClusterScheduler(pool)
+        scheduler.attach()
+
+        violations = []
+
+        def check_start(record):
+            if scheduler.assignment_of(record.job_id) is None:
+                violations.append(record.job_id)
+
+        pool.schedd.start_listeners.append(check_start)
+
+        def late_submitter(env):
+            for i in range(4):
+                yield env.timeout(1.5)
+                pool.submit([make_profile(f"late{i}", memory=1500, work=2,
+                                          host=0)])
+
+        env.process(late_submitter(env))
+        pool.run_to_completion(limit=500.0)
+        assert not violations
+        assert pool.schedd.unfinished_jobs == 0
+
+    def test_assigned_job_is_unparked(self, env):
+        pool = build(env, nodes=1)
+        pool.submit([make_profile("a", memory=1000)])
+        scheduler = KnapsackClusterScheduler(pool)
+        scheduler.attach()
+        record = pool.schedd.get("a")
+        assert record.ad.evaluate("Requirements") is not False
+
+
+class TestCoalescedRepacking:
+    def test_same_timestep_completions_trigger_one_pass(self, env):
+        pool = build(env, nodes=1)
+        # Four identical jobs co-pack, run in lockstep, and complete on
+        # the same timestep; four more wait parked.
+        pool.submit([make_profile(f"j{i}", memory=2000, threads=32, work=3,
+                                  host=0) for i in range(8)])
+        scheduler = KnapsackClusterScheduler(pool)
+        scheduler.attach()
+        assert scheduler.assigned_jobs == 4
+        pool.run_to_completion()
+        assert pool.schedd.unfinished_jobs == 0
+        # 4 simultaneous completions per wave -> 1 repack pass per wave.
+        assert scheduler.coalesced_completions >= 3
+        assert scheduler.repack_passes <= 3
+
+    def test_repack_still_fills_freed_capacity(self, env):
+        pool = build(env, nodes=1)
+        pool.submit([make_profile(f"j{i}", memory=3000, work=3, host=0)
+                     for i in range(3)])
+        scheduler = KnapsackClusterScheduler(pool)
+        scheduler.attach()
+        pool.run_to_completion()
+        assert len(pool.schedd.completed()) == 3
+        assert scheduler.repack_passes >= 1
+
+
+class TestPendingIndex:
+    def test_index_tracks_queue(self, env):
+        pool = build(env, nodes=1)
+        pool.submit([make_profile(f"j{i}", memory=3000) for i in range(4)])
+        scheduler = KnapsackClusterScheduler(pool)
+        scheduler.attach()
+        unassigned = scheduler._unassigned_pending()
+        expected = [
+            r for r in pool.schedd.pending()
+            if r.job_id not in scheduler._assignment
+        ]
+        assert [r.job_id for r in unassigned] == [r.job_id for r in expected]
+
+    def test_out_of_order_submit_times_resorted(self, env):
+        pool = build(env, nodes=1)
+        pool.submit([make_profile("first", memory=1000, work=10, host=0)])
+        scheduler = KnapsackClusterScheduler(pool)
+        scheduler.attach()
+        # Deliberately submit with an *earlier* submit_time than the
+        # queue tail: FIFO order is (submit_time, seq), not insertion.
+        from repro.workloads import JobProfile, HostPhase, OffloadPhase
+
+        def profile(job_id, submit_time):
+            return JobProfile(
+                job_id=job_id, app="t",
+                phases=(OffloadPhase(work=1, threads=16, memory_mb=9000),),
+                declared_memory_mb=9000, declared_threads=16,
+                submit_time=submit_time,
+            )
+
+        pool.submit([profile("b", 5.0)])
+        pool.submit([profile("a", 2.0)])
+        order = [r.job_id for r in scheduler._unassigned_pending()]
+        assert order == ["a", "b"]
+
+    def test_completed_unassigned_job_purged(self, env):
+        pool = build(env, nodes=1)
+        pool.submit([make_profile(f"j{i}", memory=3000, work=2, host=0)
+                     for i in range(3)])
+        scheduler = KnapsackClusterScheduler(pool)
+        scheduler.attach()
+        pool.run_to_completion()
+        assert scheduler._unassigned_pending() == []
+        assert scheduler._pending_index == {}
+
+
 class TestPeriodicRepacking:
     def test_periodic_pass_picks_up_new_jobs(self, env):
         pool = build(env, nodes=1)

@@ -20,8 +20,20 @@ class TestClock:
         assert env.now == 10
 
     def test_run_until_past_raises(self, env):
+        env.process(_ticker(env, 1.0))
+        env.run(until=5)
         with pytest.raises(ValueError):
-            env.run(until=0)
+            env.run(until=2)
+
+    def test_run_until_now_returns_immediately(self, env):
+        # simpy semantics: reaching a target already attained is a no-op,
+        # not an error (regression: this used to raise ValueError).
+        env.process(_ticker(env, 1.0))
+        assert env.run(until=0) is None
+        assert env.now == 0
+        env.run(until=5)
+        assert env.run(until=5) is None
+        assert env.now == 5
 
     def test_run_until_event_returns_value(self, env):
         def proc(env):
