@@ -1,0 +1,73 @@
+"""Harness benchmark: process-pool fan-out and result-cache speedups.
+
+Times ``python -m repro.experiments all`` three ways at smoke scale
+(``REPRO_SCALE=0.25`` unless the environment says otherwise):
+
+* cold sequential (``--jobs 1``, cache disabled) — the pre-PR baseline;
+* cold parallel (``--jobs 4``, fresh cache) — the fan-out win;
+* warm rerun (``--jobs 4``, populated cache) — the cache win.
+
+Results land in ``benchmarks/results/harness_parallel.txt``. The
+parallel speedup scales with the machine (this records the observed
+core count); the cache speedup must hold everywhere: a warm rerun
+executes zero simulation cells, so it is asserted to finish well under
+the cold sequential time.
+"""
+
+import os
+import time
+
+import pytest
+
+from repro.cli import main
+
+
+def _run(argv) -> float:
+    started = time.perf_counter()
+    assert main(argv) == 0
+    return time.perf_counter() - started
+
+
+@pytest.fixture()
+def smoke_env(tmp_path, monkeypatch):
+    """Smoke scale + an isolated cache directory for honest cold runs."""
+    monkeypatch.setenv(
+        "REPRO_SCALE", os.environ.get("REPRO_SCALE", "0.25")
+    )
+    monkeypatch.delenv("REPRO_FULL", raising=False)
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "cache"))
+
+
+def test_bench_harness_parallel(smoke_env, capsys, record_result):
+    cores = os.cpu_count() or 1
+
+    cold_sequential = _run(["all", "--jobs", "1", "--no-cache"])
+    cold_parallel = _run(["all", "--jobs", "4"])  # also fills the cache
+    warm_cached = _run(["all", "--jobs", "4"])
+    capsys.readouterr()  # drop the rendered tables; timings are the artifact
+
+    parallel_speedup = cold_sequential / cold_parallel
+    cache_speedup = cold_sequential / warm_cached
+    lines = [
+        "harness parallelism + cache benchmark "
+        f"(all experiments, REPRO_SCALE={os.environ['REPRO_SCALE']}, "
+        f"{cores} core(s))",
+        "",
+        f"cold sequential (--jobs 1, --no-cache): {cold_sequential:8.2f}s",
+        f"cold parallel   (--jobs 4, cold cache): {cold_parallel:8.2f}s"
+        f"  ({parallel_speedup:.2f}x vs sequential)",
+        f"warm rerun      (--jobs 4, warm cache): {warm_cached:8.2f}s"
+        f"  ({cache_speedup:.2f}x vs cold sequential, "
+        f"{100 * warm_cached / cold_sequential:.1f}% of its wall-clock)",
+        "",
+        "acceptance: >= 2x parallel speedup needs >= 4 hardware cores; "
+        "the warm rerun executes zero cells on any machine.",
+    ]
+    record_result("harness_parallel", "\n".join(lines))
+
+    # The cache win is machine-independent: a warm rerun deserialises a
+    # few hundred small pickles instead of simulating anything.
+    assert warm_cached < 0.25 * cold_sequential
+    if cores >= 4:
+        # The fan-out win needs real cores to show (CI runners have 4).
+        assert cold_parallel < 0.5 * cold_sequential

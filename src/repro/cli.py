@@ -2,13 +2,24 @@
 
 Usage::
 
-    python -m repro.experiments table2          # one artifact
-    python -m repro.experiments all             # everything
-    python -m repro.experiments table2 --jobs 200
-    repro-experiments fig8                      # installed script
+    python -m repro.experiments table2            # one artifact
+    python -m repro.experiments all               # everything
+    python -m repro.experiments all --jobs 4      # 4 worker processes
+    python -m repro.experiments table2 --job-count 200
+    repro-experiments fig8                        # installed script
+
+Every experiment declares its trial grid as independent simulation
+cells; the CLI collects the grids of all requested experiments into one
+pool, fans cache misses out over ``--jobs`` worker processes, and merges
+the results deterministically — parallel output is byte-identical to
+``--jobs 1``. Finished cells land in a content-addressed cache (keyed by
+cell parameters plus a fingerprint of ``src/repro``), so re-running
+after an unrelated edit is near-instant; ``--no-cache`` /
+``--clear-cache`` opt out.
 
 Job counts default to quick sizes; pass ``--full`` for the paper-scale
-runs recorded in EXPERIMENTS.md.
+runs recorded in EXPERIMENTS.md, or set ``REPRO_SCALE=0.25`` for a
+smoke pass (the scale is part of the cache key).
 """
 
 from __future__ import annotations
@@ -19,6 +30,9 @@ import time
 from typing import Optional, Sequence
 
 from .experiments import EXPERIMENTS
+from .experiments.cache import ResultCache
+from .experiments.common import bench_scale, save_result, scaled
+from .experiments.runner import CellOutcome, SimTask, TaskRunner
 
 #: Paper-scale job counts per experiment (used with --full).
 _FULL_JOBS = {
@@ -58,10 +72,23 @@ _QUICK_JOBS = {
     "ext-replication": 60,
 }
 
+#: fig10's per-node pressure at scale 1.0 (see the module).
+_FIG10_JOBS_PER_NODE = 200
 
-def _run_one(name: str, jobs: Optional[int], seed: int) -> str:
-    module = EXPERIMENTS[name]
-    kwargs = {}
+#: How many per-cell timing lines to print before switching to the
+#: slowest-only view.
+_MAX_CELL_LINES = 12
+
+
+def _experiment_kwargs(name: str, jobs: Optional[int], seed: int, scale: float) -> dict:
+    """Keyword arguments for one experiment's task grid.
+
+    ``jobs`` is the explicit ``--job-count`` override; otherwise the
+    quick/full table entry scaled by ``REPRO_SCALE``.
+    """
+    kwargs: dict = {"seed": seed}
+    if name == "ext-oversubscription":
+        return kwargs  # exact experiment: no job count to scale
     if jobs is not None:
         if name == "fig10":
             kwargs["jobs_per_node"] = max(1, jobs // 8)
@@ -70,9 +97,43 @@ def _run_one(name: str, jobs: Optional[int], seed: int) -> str:
             kwargs["synthetic_jobs"] = max(8, int(jobs * 0.4))
         else:
             kwargs["jobs"] = jobs
-    kwargs["seed"] = seed
-    result = module.run(**kwargs)
-    return module.render(result)
+    elif name == "fig10" and scale != 1.0:
+        kwargs["jobs_per_node"] = max(2, round(_FIG10_JOBS_PER_NODE * scale))
+    return kwargs
+
+
+def _grid_for(name: str, kwargs: dict) -> list[SimTask]:
+    """An experiment's cell grid; whole-run task for grid-less modules."""
+    module = EXPERIMENTS[name]
+    if hasattr(module, "tasks"):
+        return module.tasks(**kwargs)
+    return [SimTask.make(name, f"run:{name}", label="run", **kwargs)]
+
+
+def _merge(name: str, kwargs: dict, outcomes: Sequence[CellOutcome]):
+    module = EXPERIMENTS[name]
+    if hasattr(module, "merge"):
+        return module.merge([o.value for o in outcomes], **kwargs)
+    return outcomes[0].value
+
+
+def _cell_lines(name: str, outcomes: Sequence[CellOutcome]) -> list[str]:
+    """Per-cell timing lines: every cell, or the slowest for big grids."""
+
+    def line(outcome: CellOutcome) -> str:
+        timing = "cached" if outcome.cached else f"{outcome.seconds:.2f}s"
+        return f"[  {name}/{outcome.task.label}: {timing}]"
+
+    if len(outcomes) <= _MAX_CELL_LINES:
+        return [line(o) for o in outcomes]
+    slowest = sorted(outcomes, key=lambda o: o.seconds, reverse=True)
+    shown = slowest[:_MAX_CELL_LINES - 2]
+    cached = sum(1 for o in outcomes if o.cached)
+    return [
+        f"[  {name}: slowest {len(shown)} of {len(outcomes)} cells "
+        f"({cached} cached):]",
+        *[line(o) for o in shown],
+    ]
 
 
 def main(argv: Optional[Sequence[str]] = None) -> int:
@@ -86,23 +147,81 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         help="which artifact to regenerate",
     )
     parser.add_argument(
-        "--jobs", type=int, default=None, help="override the job count"
+        "-j", "--jobs", type=int, default=None,
+        help="worker processes for the trial fan-out (default: all cores)",
+    )
+    parser.add_argument(
+        "--job-count", type=int, default=None,
+        help="override the simulated job count per experiment",
     )
     parser.add_argument(
         "--full", action="store_true", help="paper-scale job counts (slower)"
     )
     parser.add_argument("--seed", type=int, default=42, help="workload seed")
+    parser.add_argument(
+        "--no-cache", action="store_true",
+        help="recompute every cell; do not read or write the result cache",
+    )
+    parser.add_argument(
+        "--clear-cache", action="store_true",
+        help="delete the result cache before running",
+    )
+    parser.add_argument(
+        "--save", action="store_true",
+        help="also write each rendered artifact under benchmarks/results/ "
+        "(honors REPRO_RESULTS_DIR)",
+    )
     args = parser.parse_args(argv)
+
+    if args.jobs is not None and args.jobs < 1:
+        parser.error("--jobs must be >= 1")
+
+    cache: Optional[ResultCache] = None
+    if args.clear_cache:
+        ResultCache().clear()
+    if not args.no_cache:
+        cache = ResultCache()
+    runner = TaskRunner(workers=args.jobs, cache=cache)
 
     names = list(EXPERIMENTS) if args.experiment == "all" else [args.experiment]
     table = _FULL_JOBS if args.full else _QUICK_JOBS
+    scale = bench_scale(default=1.0)
+
+    plans = []
     for name in names:
-        jobs = args.jobs if args.jobs is not None else table[name]
-        started = time.perf_counter()
-        output = _run_one(name, jobs, args.seed)
-        elapsed = time.perf_counter() - started
-        print(output)
-        print(f"[{name}: {elapsed:.1f}s]\n")
+        base = args.job_count
+        if base is None and table[name] is not None:
+            base = scaled(table[name], scale) if scale != 1.0 else table[name]
+        kwargs = _experiment_kwargs(name, base, args.seed, scale)
+        plans.append((name, kwargs, _grid_for(name, kwargs)))
+
+    started = time.perf_counter()
+    outcomes = runner.map_tasks([task for _, _, grid in plans for task in grid])
+    wall = time.perf_counter() - started
+
+    offset = 0
+    for name, kwargs, grid in plans:
+        cell_outcomes = outcomes[offset:offset + len(grid)]
+        offset += len(grid)
+        text = EXPERIMENTS[name].render(_merge(name, kwargs, cell_outcomes))
+        print(text)
+        if args.save:
+            save_result(name, text)
+        computed = sum(1 for o in cell_outcomes if not o.cached)
+        cell_seconds = sum(o.seconds for o in cell_outcomes)
+        print(
+            f"[{name}: {cell_seconds:.1f}s cell-time, {len(grid)} cells "
+            f"({computed} computed, {len(grid) - computed} cached)]"
+        )
+        for line in _cell_lines(name, cell_outcomes):
+            print(line)
+        print()
+
+    print(
+        f"[total: {wall:.1f}s wall, {len(outcomes)} cells "
+        f"({runner.computed} computed, {runner.served_from_cache} cached), "
+        f"{runner.workers} worker(s)]"
+    )
     return 0
 
 

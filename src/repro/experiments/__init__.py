@@ -4,11 +4,20 @@ Run from the command line::
 
     python -m repro.experiments <name>      # motivation, table2, fig7, ...
     python -m repro.experiments all
+    python -m repro.experiments all --jobs 4   # process-pool fan-out
 
 Each module exposes ``run(...)`` returning a structured result and
-``render(result)`` producing the paper-style rows.
+``render(result)`` producing the paper-style rows. Grid-based modules
+additionally expose ``tasks(...)`` (the picklable cell grid) and
+``merge(values, ...)`` so :mod:`repro.experiments.runner` can fan the
+cells out over worker processes and serve repeats from the
+content-addressed cache in :mod:`repro.experiments.cache`.
 """
 
+from . import (
+    cache,
+    runner,
+)
 from . import (
     ablation_cycle,
     ablation_knapsack,
@@ -49,6 +58,8 @@ EXPERIMENTS = {
 
 __all__ = [
     "EXPERIMENTS",
+    "cache",
+    "runner",
     "ablation_cycle",
     "ablation_knapsack",
     "ablation_placement",

@@ -9,15 +9,17 @@ and high-skew sets to quantify that integration overhead.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from dataclasses import replace
+from dataclasses import dataclass, replace
+from typing import Optional
 
-from ..cluster import ClusterConfig, run_mcc, run_mcck
+from ..cluster import ClusterConfig
 from ..metrics import format_series
-from ..workloads import generate_synthetic_jobs
 from .common import DEFAULT_SEED, PAPER_CLUSTER
+from .runner import SimTask, TaskRunner, execute, sim_task
 
 DEFAULT_INTERVALS = (2.0, 5.0, 10.0, 20.0, 40.0)
+
+_SERIES = ("MCC", "MCCK", "MCCK+resched")
 
 
 @dataclass
@@ -28,29 +30,72 @@ class CycleAblationResult:
     makespans: dict[str, dict[str, list[float]]]
 
 
-def run(
+def tasks(
+    jobs: int = 400,
+    intervals: tuple[float, ...] = DEFAULT_INTERVALS,
+    config: ClusterConfig = PAPER_CLUSTER,
+    seed: int = DEFAULT_SEED,
+    distributions: tuple[str, ...] = ("normal", "high-skew"),
+) -> list[SimTask]:
+    grid: list[SimTask] = []
+    for distribution in distributions:
+        workload = ("synthetic", jobs, distribution, seed)
+        for interval in intervals:
+            tuned = replace(config, cycle_interval=interval)
+            # condor_reschedule: completions trigger extra cycles, which
+            # should largely flatten MCCK's sensitivity to the interval.
+            resched = replace(tuned, reschedule_on_completion=True)
+            for name, configuration, cell_config in (
+                ("MCC", "MCC", tuned),
+                ("MCCK", "MCCK", tuned),
+                ("MCCK+resched", "MCCK", resched),
+            ):
+                grid.append(
+                    sim_task(
+                        "ablation-cycle", configuration, cell_config, workload,
+                        label=f"{distribution}/{name}@{interval:g}s",
+                    )
+                )
+    return grid
+
+
+def merge(
+    values: list,
     jobs: int = 400,
     intervals: tuple[float, ...] = DEFAULT_INTERVALS,
     config: ClusterConfig = PAPER_CLUSTER,
     seed: int = DEFAULT_SEED,
     distributions: tuple[str, ...] = ("normal", "high-skew"),
 ) -> CycleAblationResult:
+    cursor = iter(values)
     makespans: dict[str, dict[str, list[float]]] = {}
     for distribution in distributions:
-        job_set = generate_synthetic_jobs(jobs, distribution, seed=seed)
-        series: dict[str, list[float]] = {"MCC": [], "MCCK": [],
-                                          "MCCK+resched": []}
-        for interval in intervals:
-            tuned = replace(config, cycle_interval=interval)
-            series["MCC"].append(run_mcc(job_set, tuned).makespan)
-            series["MCCK"].append(run_mcck(job_set, tuned).makespan)
-            # condor_reschedule: completions trigger extra cycles, which
-            # should largely flatten MCCK's sensitivity to the interval.
-            resched = replace(tuned, reschedule_on_completion=True)
-            series["MCCK+resched"].append(run_mcck(job_set, resched).makespan)
+        series: dict[str, list[float]] = {name: [] for name in _SERIES}
+        for _interval in intervals:
+            for name in _SERIES:
+                series[name].append(next(cursor)["makespan"])
         makespans[distribution] = series
     return CycleAblationResult(
         job_count=jobs, intervals=intervals, makespans=makespans
+    )
+
+
+def run(
+    jobs: int = 400,
+    intervals: tuple[float, ...] = DEFAULT_INTERVALS,
+    config: ClusterConfig = PAPER_CLUSTER,
+    seed: int = DEFAULT_SEED,
+    distributions: tuple[str, ...] = ("normal", "high-skew"),
+    runner: Optional[TaskRunner] = None,
+) -> CycleAblationResult:
+    grid = tasks(
+        jobs=jobs, intervals=intervals, config=config, seed=seed,
+        distributions=distributions,
+    )
+    values = execute(grid, runner)
+    return merge(
+        values, jobs=jobs, intervals=intervals, config=config, seed=seed,
+        distributions=distributions,
     )
 
 

@@ -13,12 +13,29 @@ choice, not a safety requirement. This ablation compares:
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Optional
 
 from ..cluster import ClusterConfig, run_mcck
 from ..core import DevicePacker
 from ..metrics import format_table
-from ..workloads import generate_synthetic_jobs, generate_table1_jobs
-from .common import DEFAULT_SEED, PAPER_CLUSTER
+from .common import DEFAULT_SEED, PAPER_CLUSTER, make_workload
+from .runner import SimTask, TaskRunner, execute
+
+_WORKLOADS = ("table1", "normal")
+
+#: variant name -> (thread_capacity, respect_host_slots); the packer is
+#: rebuilt in the worker so tasks carry primitives only.
+_VARIANTS = {
+    "cap-240 (paper)": (240, True),
+    "no-cap": (None, True),
+    "no-cap/no-slots": (None, False),
+}
+
+
+def _workload_spec(workload: str, jobs: int, seed: int) -> tuple:
+    if workload == "table1":
+        return ("table1", jobs, seed)
+    return ("synthetic", jobs, workload, seed)
 
 
 @dataclass
@@ -27,29 +44,59 @@ class KnapsackAblationResult:
     makespans: dict[str, dict[str, float]]  # variant -> workload -> seconds
 
 
-def run(
+def tasks(
+    jobs: int = 400,
+    config: ClusterConfig = PAPER_CLUSTER,
+    seed: int = DEFAULT_SEED,
+) -> list[SimTask]:
+    return [
+        SimTask.make(
+            "ablation-knapsack", "ablation-knapsack.cell",
+            label=f"{variant}/{workload}",
+            variant=variant,
+            config=config,
+            workload=_workload_spec(workload, jobs, seed),
+        )
+        for variant in _VARIANTS
+        for workload in _WORKLOADS
+    ]
+
+
+def compute(task: SimTask) -> float:
+    p = task.kwargs()
+    thread_capacity, respect_host_slots = _VARIANTS[p["variant"]]
+    job_set = make_workload(p["workload"])
+    return run_mcck(
+        job_set,
+        p["config"],
+        packer=DevicePacker(thread_capacity=thread_capacity),
+        respect_host_slots=respect_host_slots,
+    ).makespan
+
+
+def merge(
+    values: list,
     jobs: int = 400,
     config: ClusterConfig = PAPER_CLUSTER,
     seed: int = DEFAULT_SEED,
 ) -> KnapsackAblationResult:
-    workloads = {
-        "table1": generate_table1_jobs(jobs, seed=seed),
-        "normal": generate_synthetic_jobs(jobs, "normal", seed=seed),
+    cursor = iter(values)
+    makespans = {
+        variant: {workload: next(cursor) for workload in _WORKLOADS}
+        for variant in _VARIANTS
     }
-    variants = {
-        "cap-240 (paper)": dict(
-            packer=DevicePacker(thread_capacity=240), respect_host_slots=True
-        ),
-        "no-cap": dict(packer=DevicePacker(), respect_host_slots=True),
-        "no-cap/no-slots": dict(packer=DevicePacker(), respect_host_slots=False),
-    }
-    makespans: dict[str, dict[str, float]] = {}
-    for name, kwargs in variants.items():
-        makespans[name] = {
-            workload: run_mcck(job_set, config, **kwargs).makespan
-            for workload, job_set in workloads.items()
-        }
     return KnapsackAblationResult(job_count=jobs, makespans=makespans)
+
+
+def run(
+    jobs: int = 400,
+    config: ClusterConfig = PAPER_CLUSTER,
+    seed: int = DEFAULT_SEED,
+    runner: Optional[TaskRunner] = None,
+) -> KnapsackAblationResult:
+    grid = tasks(jobs=jobs, config=config, seed=seed)
+    values = execute(grid, runner)
+    return merge(values, jobs=jobs, config=config, seed=seed)
 
 
 def render(result: KnapsackAblationResult) -> str:

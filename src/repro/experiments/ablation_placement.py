@@ -12,6 +12,7 @@ cluster-level intelligence, all over identical COSMIC nodes:
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Optional
 
 from ..cluster import (
     ClusterConfig,
@@ -21,8 +22,19 @@ from ..cluster import (
     run_mcck,
 )
 from ..metrics import format_table, percent_reduction
-from ..workloads import generate_table1_jobs
-from .common import DEFAULT_SEED, PAPER_CLUSTER
+from .common import DEFAULT_SEED, PAPER_CLUSTER, make_workload
+from .runner import SimTask, TaskRunner, execute
+
+#: policy name -> runner; rebuilt in the worker from the policy name.
+_POLICIES = {
+    "MC": lambda job_set, config: run_mc(job_set, config),
+    "random (MCC)": lambda job_set, config: run_mcc(job_set, config),
+    "random memory-aware": lambda job_set, config: run_mcc(
+        job_set, config, memory_aware=True
+    ),
+    "best-fit": lambda job_set, config: run_best_fit(job_set, config),
+    "knapsack (MCCK)": lambda job_set, config: run_mcck(job_set, config),
+}
 
 
 @dataclass
@@ -34,20 +46,48 @@ class PlacementAblationResult:
         return percent_reduction(self.makespans["MC"], self.makespans[name])
 
 
-def run(
+def tasks(
+    jobs: int = 400,
+    config: ClusterConfig = PAPER_CLUSTER,
+    seed: int = DEFAULT_SEED,
+) -> list[SimTask]:
+    return [
+        SimTask.make(
+            "ablation-placement", "ablation-placement.cell",
+            label=policy,
+            policy=policy,
+            config=config,
+            workload=("table1", jobs, seed),
+        )
+        for policy in _POLICIES
+    ]
+
+
+def compute(task: SimTask) -> float:
+    p = task.kwargs()
+    job_set = make_workload(p["workload"])
+    return _POLICIES[p["policy"]](job_set, p["config"]).makespan
+
+
+def merge(
+    values: list,
     jobs: int = 400,
     config: ClusterConfig = PAPER_CLUSTER,
     seed: int = DEFAULT_SEED,
 ) -> PlacementAblationResult:
-    job_set = generate_table1_jobs(jobs, seed=seed)
-    makespans = {
-        "MC": run_mc(job_set, config).makespan,
-        "random (MCC)": run_mcc(job_set, config).makespan,
-        "random memory-aware": run_mcc(job_set, config, memory_aware=True).makespan,
-        "best-fit": run_best_fit(job_set, config).makespan,
-        "knapsack (MCCK)": run_mcck(job_set, config).makespan,
-    }
+    makespans = dict(zip(_POLICIES, values))
     return PlacementAblationResult(job_count=jobs, makespans=makespans)
+
+
+def run(
+    jobs: int = 400,
+    config: ClusterConfig = PAPER_CLUSTER,
+    seed: int = DEFAULT_SEED,
+    runner: Optional[TaskRunner] = None,
+) -> PlacementAblationResult:
+    grid = tasks(jobs=jobs, config=config, seed=seed)
+    values = execute(grid, runner)
+    return merge(values, jobs=jobs, config=config, seed=seed)
 
 
 def render(result: PlacementAblationResult) -> str:

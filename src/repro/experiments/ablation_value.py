@@ -9,12 +9,21 @@ and measures MCCK makespan on the real mix and a normal synthetic set.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Optional
 
 from ..cluster import ClusterConfig, run_mcck
 from ..core import DevicePacker, get_value_function, value_function_names
 from ..metrics import format_table
-from ..workloads import generate_synthetic_jobs, generate_table1_jobs
-from .common import DEFAULT_SEED, PAPER_CLUSTER
+from .common import DEFAULT_SEED, PAPER_CLUSTER, make_workload
+from .runner import SimTask, TaskRunner, execute
+
+_WORKLOADS = ("table1", "normal")
+
+
+def _workload_spec(workload: str, jobs: int, seed: int) -> tuple:
+    if workload == "table1":
+        return ("table1", jobs, seed)
+    return ("synthetic", jobs, workload, seed)
 
 
 @dataclass
@@ -24,26 +33,66 @@ class ValueAblationResult:
     makespans: dict[str, dict[str, float]]
 
 
-def run(
+def tasks(
+    jobs: int = 400,
+    config: ClusterConfig = PAPER_CLUSTER,
+    seed: int = DEFAULT_SEED,
+    thread_capacity: int | None = 240,
+) -> list[SimTask]:
+    return [
+        SimTask.make(
+            "ablation-value", "ablation-value.cell",
+            label=f"{name}/{workload}",
+            value_fn=name,
+            thread_capacity=thread_capacity,
+            config=config,
+            workload=_workload_spec(workload, jobs, seed),
+        )
+        for name in value_function_names()
+        for workload in _WORKLOADS
+    ]
+
+
+def compute(task: SimTask) -> float:
+    p = task.kwargs()
+    packer = DevicePacker(
+        value_fn=get_value_function(p["value_fn"]),
+        thread_capacity=p["thread_capacity"],
+    )
+    job_set = make_workload(p["workload"])
+    return run_mcck(job_set, p["config"], packer=packer).makespan
+
+
+def merge(
+    values: list,
     jobs: int = 400,
     config: ClusterConfig = PAPER_CLUSTER,
     seed: int = DEFAULT_SEED,
     thread_capacity: int | None = 240,
 ) -> ValueAblationResult:
-    workloads = {
-        "table1": generate_table1_jobs(jobs, seed=seed),
-        "normal": generate_synthetic_jobs(jobs, "normal", seed=seed),
+    cursor = iter(values)
+    makespans = {
+        name: {workload: next(cursor) for workload in _WORKLOADS}
+        for name in value_function_names()
     }
-    makespans: dict[str, dict[str, float]] = {}
-    for name in value_function_names():
-        packer = DevicePacker(
-            value_fn=get_value_function(name), thread_capacity=thread_capacity
-        )
-        makespans[name] = {
-            workload: run_mcck(job_set, config, packer=packer).makespan
-            for workload, job_set in workloads.items()
-        }
     return ValueAblationResult(job_count=jobs, makespans=makespans)
+
+
+def run(
+    jobs: int = 400,
+    config: ClusterConfig = PAPER_CLUSTER,
+    seed: int = DEFAULT_SEED,
+    thread_capacity: int | None = 240,
+    runner: Optional[TaskRunner] = None,
+) -> ValueAblationResult:
+    grid = tasks(
+        jobs=jobs, config=config, seed=seed, thread_capacity=thread_capacity
+    )
+    values = execute(grid, runner)
+    return merge(
+        values, jobs=jobs, config=config, seed=seed,
+        thread_capacity=thread_capacity,
+    )
 
 
 def render(result: ValueAblationResult) -> str:

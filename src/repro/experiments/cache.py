@@ -1,0 +1,180 @@
+"""Content-addressed on-disk cache for simulation cells.
+
+Every :class:`~repro.experiments.runner.SimTask` describes one
+simulation cell by value (cell kind + primitive parameters), so its
+result can be addressed by content: the SHA-256 of the canonicalised
+task plus a *source fingerprint* of ``src/repro``. Re-running the
+harness after an unrelated edit outside ``src/repro`` (docs, tests,
+benchmarks) hits the cache and is near-instant; any edit to the
+simulator source changes the fingerprint and invalidates everything —
+cheap insurance against stale physics.
+
+The resolved ``REPRO_SCALE`` / ``REPRO_FULL`` setting is folded into
+the fingerprint as well: job counts derived from the scale already
+appear in the task parameters, but the scale knob itself is part of
+the experiment identity and keeping it in the key makes the
+invalidation rule easy to state (see EXPERIMENTS.md).
+
+Entries are one pickle file per key, written atomically (temp file +
+``os.replace``), so a crashed or concurrent run never leaves a
+half-written entry in place; a corrupted or truncated entry is treated
+as a miss, deleted, and recomputed.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+import os
+import pickle
+import shutil
+import tempfile
+from functools import lru_cache
+from pathlib import Path
+from typing import Any, Optional, Tuple
+
+from .common import bench_scale
+
+#: Environment override for the cache location.
+CACHE_DIR_ENV = "REPRO_CACHE_DIR"
+
+
+def default_cache_dir() -> Path:
+    """Cache root: ``$REPRO_CACHE_DIR``, else the XDG cache directory."""
+    env = os.environ.get(CACHE_DIR_ENV)
+    if env:
+        return Path(env)
+    xdg = os.environ.get("XDG_CACHE_HOME")
+    base = Path(xdg) if xdg else Path.home() / ".cache"
+    return base / "repro-experiments"
+
+
+def canonical(value: Any) -> Any:
+    """Reduce a task parameter to a JSON-serialisable canonical form.
+
+    Dataclasses (``ClusterConfig``, ``XeonPhiSpec``, ...) are flattened
+    to their qualified name plus sorted field values, containers are
+    recursed, floats keep full ``repr`` precision, and anything exotic
+    falls back to ``repr`` so two tasks only share a key when their
+    parameters are observably identical.
+    """
+    if value is None or isinstance(value, (str, int, bool)):
+        return value
+    if isinstance(value, float):
+        return {"__float__": repr(value)}
+    if isinstance(value, (list, tuple)):
+        return [canonical(v) for v in value]
+    if isinstance(value, dict):
+        return {
+            "__dict__": sorted(
+                (str(k), canonical(v)) for k, v in value.items()
+            )
+        }
+    if dataclasses.is_dataclass(value) and not isinstance(value, type):
+        fields = sorted(
+            (f.name, canonical(getattr(value, f.name)))
+            for f in dataclasses.fields(value)
+        )
+        return {"__dataclass__": type(value).__qualname__, "fields": fields}
+    return {"__repr__": repr(value)}
+
+
+@lru_cache(maxsize=1)
+def source_fingerprint() -> str:
+    """SHA-256 over every ``*.py`` under ``src/repro`` plus the scale.
+
+    Any change to the simulator source yields a new fingerprint and
+    therefore a cold cache; nothing outside the package affects it.
+    """
+    root = Path(__file__).resolve().parents[1]
+    digest = hashlib.sha256()
+    for path in sorted(root.rglob("*.py")):
+        digest.update(str(path.relative_to(root)).encode())
+        digest.update(b"\0")
+        digest.update(path.read_bytes())
+        digest.update(b"\0")
+    digest.update(f"scale={bench_scale():g}".encode())
+    return digest.hexdigest()
+
+
+def task_key(task: Any, fingerprint: str) -> str:
+    """Content address of one task under one source fingerprint."""
+    payload = json.dumps(
+        [task.kind, canonical(task.params), fingerprint],
+        sort_keys=True,
+        separators=(",", ":"),
+    )
+    return hashlib.sha256(payload.encode()).hexdigest()
+
+
+class ResultCache:
+    """On-disk pickle store addressed by :func:`task_key`.
+
+    The cache is best-effort: I/O failures on read are misses, failures
+    on write are ignored (the computed value is still returned to the
+    caller), so a read-only or full disk degrades to "no cache" rather
+    than failing the run.
+    """
+
+    def __init__(
+        self,
+        root: Optional[Path] = None,
+        fingerprint: Optional[str] = None,
+    ) -> None:
+        self.root = Path(root) if root is not None else default_cache_dir()
+        self.fingerprint = (
+            fingerprint if fingerprint is not None else source_fingerprint()
+        )
+        self.hits = 0
+        self.misses = 0
+
+    def _path(self, key: str) -> Path:
+        return self.root / key[:2] / f"{key}.pkl"
+
+    def key_for(self, task: Any) -> str:
+        return task_key(task, self.fingerprint)
+
+    def get(self, task: Any) -> Tuple[bool, Any]:
+        """``(True, value)`` on a hit; ``(False, None)`` otherwise.
+
+        A corrupted or truncated entry (unpicklable bytes) is deleted
+        and reported as a miss so the cell is recomputed and rewritten.
+        """
+        path = self._path(self.key_for(task))
+        try:
+            with path.open("rb") as handle:
+                value = pickle.load(handle)
+        except FileNotFoundError:
+            self.misses += 1
+            return False, None
+        except Exception:
+            # Truncated write, foreign bytes, unpicklable garbage:
+            # drop the entry and recompute.
+            path.unlink(missing_ok=True)
+            self.misses += 1
+            return False, None
+        self.hits += 1
+        return True, value
+
+    def put(self, task: Any, value: Any) -> None:
+        """Atomically persist one cell value (best-effort)."""
+        path = self._path(self.key_for(task))
+        try:
+            path.parent.mkdir(parents=True, exist_ok=True)
+            fd, tmp = tempfile.mkstemp(
+                dir=path.parent, prefix=".tmp-", suffix=".pkl"
+            )
+            try:
+                with os.fdopen(fd, "wb") as handle:
+                    pickle.dump(value, handle, protocol=pickle.HIGHEST_PROTOCOL)
+                os.replace(tmp, path)
+            except BaseException:
+                os.unlink(tmp)
+                raise
+        except (OSError, pickle.PicklingError):
+            pass
+
+    def clear(self) -> None:
+        """Delete the whole cache directory."""
+        shutil.rmtree(self.root, ignore_errors=True)

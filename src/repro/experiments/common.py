@@ -10,8 +10,10 @@ from __future__ import annotations
 
 import os
 from pathlib import Path
+from typing import Sequence, Tuple
 
 from ..cluster import ClusterConfig
+from ..workloads.profiles import JobProfile
 
 #: The paper's evaluation platform: 8 nodes, 1 Phi (8 GB) per node.
 PAPER_CLUSTER = ClusterConfig(nodes=8, devices_per_node=1)
@@ -19,16 +21,38 @@ PAPER_CLUSTER = ClusterConfig(nodes=8, devices_per_node=1)
 #: Default RNG seed for job-set generation (reproducibility).
 DEFAULT_SEED = 42
 
-#: Where benchmark runs drop their rendered tables.
-RESULTS_DIR = Path(__file__).resolve().parents[3] / "benchmarks" / "results"
+
+def results_dir() -> Path:
+    """Where rendered tables land.
+
+    Resolution order: the ``REPRO_RESULTS_DIR`` environment override,
+    then ``benchmarks/results/`` in the repository checkout, then
+    ``benchmarks/results/`` under the current working directory (for
+    installed wheels, where ``parents[3]`` would point into
+    site-packages).
+    """
+    env = os.environ.get("REPRO_RESULTS_DIR")
+    if env:
+        return Path(env)
+    repo = Path(__file__).resolve().parents[3]
+    if (repo / "pyproject.toml").exists():
+        return repo / "benchmarks" / "results"
+    return Path.cwd() / "benchmarks" / "results"
+
+
+#: Snapshot of :func:`results_dir` at import (kept for backwards
+#: compatibility; ``save_result`` re-resolves so env changes win).
+RESULTS_DIR = results_dir()
 
 
 def bench_scale(default: float = 1.0) -> float:
     """Job-count scale for benchmark runs.
 
     Benchmarks run at paper scale by default (the whole harness takes a
-    few minutes; these are the numbers recorded in EXPERIMENTS.md). Set
-    ``REPRO_SCALE=0.25`` for a quick smoke pass — but beware that very
+    few minutes sequentially — see :mod:`repro.experiments.runner` for
+    the process-pool fan-out; these are the numbers recorded in
+    EXPERIMENTS.md). Set ``REPRO_SCALE=0.25`` for a quick smoke pass —
+    but beware that very
     low job pressure (few jobs per node) changes the regime: random
     sharing stops paying off, which is itself one of the paper's
     observations (Fig. 9 discussion).
@@ -50,8 +74,30 @@ def scaled(count: int, scale: float) -> int:
 
 
 def save_result(name: str, text: str) -> Path:
-    """Persist a rendered table under benchmarks/results/."""
-    RESULTS_DIR.mkdir(parents=True, exist_ok=True)
-    path = RESULTS_DIR / f"{name}.txt"
+    """Persist a rendered table under :func:`results_dir`."""
+    directory = results_dir()
+    directory.mkdir(parents=True, exist_ok=True)
+    path = directory / f"{name}.txt"
     path.write_text(text + "\n")
     return path
+
+
+def make_workload(spec: Tuple) -> Sequence[JobProfile]:
+    """Rebuild a job set from its picklable spec.
+
+    ``("table1", count, seed)`` regenerates the real (Table-I) mix;
+    ``("synthetic", count, distribution, seed)`` one of the Fig.-7
+    synthetic sets. Task grids carry these specs instead of job lists so
+    cells stay tiny on the wire and content-addressable in the cache —
+    generation is deterministic and cheap relative to a simulation.
+    """
+    from ..workloads import generate_synthetic_jobs, generate_table1_jobs
+
+    kind = spec[0]
+    if kind == "table1":
+        _, count, seed = spec
+        return generate_table1_jobs(count, seed=seed)
+    if kind == "synthetic":
+        _, count, distribution, seed = spec
+        return generate_synthetic_jobs(count, distribution, seed=seed)
+    raise ValueError(f"unknown workload spec {spec!r}")

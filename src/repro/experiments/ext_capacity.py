@@ -9,14 +9,17 @@ sub-linear sharing efficiency and the thread budget cap the return.
 from __future__ import annotations
 
 from dataclasses import dataclass, replace
+from typing import Optional
 
-from ..cluster import ClusterConfig, run_mc, run_mcc, run_mcck
+from ..cluster import ClusterConfig
 from ..metrics import format_series
 from ..phi import XeonPhiSpec
-from ..workloads import generate_table1_jobs
 from .common import DEFAULT_SEED, PAPER_CLUSTER
+from .runner import SimTask, TaskRunner, execute, sim_task
 
 DEFAULT_CAPACITIES_MB = (4096, 8192, 12288, 16384)
+
+_CONFIGURATIONS = ("MC", "MCC", "MCCK")
 
 
 @dataclass
@@ -26,14 +29,14 @@ class CapacityResult:
     makespans: dict[str, list[float]]  # configuration -> aligned values
 
 
-def run(
+def tasks(
     jobs: int = 400,
     capacities_mb: tuple[int, ...] = DEFAULT_CAPACITIES_MB,
     config: ClusterConfig = PAPER_CLUSTER,
     seed: int = DEFAULT_SEED,
-) -> CapacityResult:
-    job_set = generate_table1_jobs(jobs, seed=seed)
-    makespans: dict[str, list[float]] = {"MC": [], "MCC": [], "MCCK": []}
+) -> list[SimTask]:
+    workload = ("table1", jobs, seed)
+    grid: list[SimTask] = []
     for capacity in capacities_mb:
         spec = XeonPhiSpec(
             cores=config.spec.cores,
@@ -41,11 +44,44 @@ def run(
             memory_mb=capacity,
         )
         sized = replace(config, spec=spec)
-        makespans["MC"].append(run_mc(job_set, sized).makespan)
-        makespans["MCC"].append(run_mcc(job_set, sized).makespan)
-        makespans["MCCK"].append(run_mcck(job_set, sized).makespan)
+        for configuration in _CONFIGURATIONS:
+            grid.append(
+                sim_task(
+                    "ext-capacity", configuration, sized, workload,
+                    label=f"{configuration}@{capacity // 1024}GB",
+                )
+            )
+    return grid
+
+
+def merge(
+    values: list,
+    jobs: int = 400,
+    capacities_mb: tuple[int, ...] = DEFAULT_CAPACITIES_MB,
+    config: ClusterConfig = PAPER_CLUSTER,
+    seed: int = DEFAULT_SEED,
+) -> CapacityResult:
+    cursor = iter(values)
+    makespans: dict[str, list[float]] = {c: [] for c in _CONFIGURATIONS}
+    for _capacity in capacities_mb:
+        for configuration in _CONFIGURATIONS:
+            makespans[configuration].append(next(cursor)["makespan"])
     return CapacityResult(
         job_count=jobs, capacities_mb=capacities_mb, makespans=makespans
+    )
+
+
+def run(
+    jobs: int = 400,
+    capacities_mb: tuple[int, ...] = DEFAULT_CAPACITIES_MB,
+    config: ClusterConfig = PAPER_CLUSTER,
+    seed: int = DEFAULT_SEED,
+    runner: Optional[TaskRunner] = None,
+) -> CapacityResult:
+    grid = tasks(jobs=jobs, capacities_mb=capacities_mb, config=config, seed=seed)
+    values = execute(grid, runner)
+    return merge(
+        values, jobs=jobs, capacities_mb=capacities_mb, config=config, seed=seed
     )
 
 

@@ -10,14 +10,17 @@ the price of fewer host CPUs per card.
 from __future__ import annotations
 
 from dataclasses import dataclass, replace
+from typing import Optional
 
-from ..cluster import ClusterConfig, run_mcc, run_mcck
+from ..cluster import ClusterConfig
 from ..metrics import format_table
-from ..workloads import generate_table1_jobs
 from .common import DEFAULT_SEED, PAPER_CLUSTER
+from .runner import SimTask, TaskRunner, execute, sim_task
 
 #: (nodes, devices_per_node) shapes with 8 cards total.
 DEFAULT_SHAPES = ((8, 1), (4, 2), (2, 4))
+
+_CONFIGURATIONS = ("MCC", "MCCK")
 
 
 @dataclass
@@ -27,19 +30,49 @@ class MultiDeviceResult:
     makespans: dict[str, list[float]]  # configuration -> aligned with shapes
 
 
-def run(
+def tasks(
+    jobs: int = 400,
+    shapes: tuple[tuple[int, int], ...] = DEFAULT_SHAPES,
+    config: ClusterConfig = PAPER_CLUSTER,
+    seed: int = DEFAULT_SEED,
+) -> list[SimTask]:
+    workload = ("table1", jobs, seed)
+    return [
+        sim_task(
+            "ext-multidevice", configuration,
+            replace(config, nodes=nodes, devices_per_node=devices), workload,
+            label=f"{configuration}@{nodes}x{devices}",
+        )
+        for nodes, devices in shapes
+        for configuration in _CONFIGURATIONS
+    ]
+
+
+def merge(
+    values: list,
     jobs: int = 400,
     shapes: tuple[tuple[int, int], ...] = DEFAULT_SHAPES,
     config: ClusterConfig = PAPER_CLUSTER,
     seed: int = DEFAULT_SEED,
 ) -> MultiDeviceResult:
-    job_set = generate_table1_jobs(jobs, seed=seed)
-    makespans: dict[str, list[float]] = {"MCC": [], "MCCK": []}
-    for nodes, devices in shapes:
-        shaped = replace(config, nodes=nodes, devices_per_node=devices)
-        makespans["MCC"].append(run_mcc(job_set, shaped).makespan)
-        makespans["MCCK"].append(run_mcck(job_set, shaped).makespan)
+    cursor = iter(values)
+    makespans: dict[str, list[float]] = {c: [] for c in _CONFIGURATIONS}
+    for _shape in shapes:
+        for configuration in _CONFIGURATIONS:
+            makespans[configuration].append(next(cursor)["makespan"])
     return MultiDeviceResult(job_count=jobs, shapes=shapes, makespans=makespans)
+
+
+def run(
+    jobs: int = 400,
+    shapes: tuple[tuple[int, int], ...] = DEFAULT_SHAPES,
+    config: ClusterConfig = PAPER_CLUSTER,
+    seed: int = DEFAULT_SEED,
+    runner: Optional[TaskRunner] = None,
+) -> MultiDeviceResult:
+    grid = tasks(jobs=jobs, shapes=shapes, config=config, seed=seed)
+    values = execute(grid, runner)
+    return merge(values, jobs=jobs, shapes=shapes, config=config, seed=seed)
 
 
 def render(result: MultiDeviceResult) -> str:

@@ -10,13 +10,16 @@ MCC↔MCCK gap is in this simulator — see EXPERIMENTS.md deviation 1).
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Optional
 
-from ..cluster import ClusterConfig, run_configuration
-from ..metrics import Replicated, compare, format_table, replicate
-from ..workloads import generate_table1_jobs
+from ..cluster import ClusterConfig
+from ..metrics import Replicated, compare, format_table
 from .common import PAPER_CLUSTER
+from .runner import SimTask, TaskRunner, execute, sim_task
 
 DEFAULT_SEEDS = (42, 43, 44, 45, 46)
+
+_CONFIGURATIONS = ("MC", "MCC", "MCCK")
 
 
 @dataclass
@@ -39,21 +42,50 @@ class ReplicationResult:
         return compare(self.makespans["MCC"], self.makespans["MCCK"])
 
 
+def tasks(
+    jobs: int = 400,
+    seeds: tuple[int, ...] = DEFAULT_SEEDS,
+    config: ClusterConfig = PAPER_CLUSTER,
+    seed: int = 0,  # unused; kept for CLI uniformity
+) -> list[SimTask]:
+    return [
+        sim_task(
+            "ext-replication", configuration, config,
+            ("table1", jobs, workload_seed),
+            label=f"{configuration}/seed{workload_seed}",
+        )
+        for configuration in _CONFIGURATIONS
+        for workload_seed in seeds
+    ]
+
+
+def merge(
+    values: list,
+    jobs: int = 400,
+    seeds: tuple[int, ...] = DEFAULT_SEEDS,
+    config: ClusterConfig = PAPER_CLUSTER,
+    seed: int = 0,
+) -> ReplicationResult:
+    cursor = iter(values)
+    makespans = {
+        configuration: Replicated(
+            tuple(next(cursor)["makespan"] for _ in seeds)
+        )
+        for configuration in _CONFIGURATIONS
+    }
+    return ReplicationResult(job_count=jobs, seeds=seeds, makespans=makespans)
+
+
 def run(
     jobs: int = 400,
     seeds: tuple[int, ...] = DEFAULT_SEEDS,
     config: ClusterConfig = PAPER_CLUSTER,
     seed: int = 0,  # unused; kept for CLI uniformity
+    runner: Optional[TaskRunner] = None,
 ) -> ReplicationResult:
-    makespans: dict[str, Replicated] = {}
-    for configuration in ("MC", "MCC", "MCCK"):
-        makespans[configuration] = replicate(
-            lambda s, c=configuration: run_configuration(
-                c, generate_table1_jobs(jobs, seed=s), config
-            ).makespan,
-            seeds=seeds,
-        )
-    return ReplicationResult(job_count=jobs, seeds=seeds, makespans=makespans)
+    grid = tasks(jobs=jobs, seeds=seeds, config=config, seed=seed)
+    values = execute(grid, runner)
+    return merge(values, jobs=jobs, seeds=seeds, config=config, seed=seed)
 
 
 def render(result: ReplicationResult) -> str:

@@ -10,14 +10,17 @@ and ~40% better than MC.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Optional
 
-from ..cluster import ClusterConfig, run_configuration
+from ..cluster import ClusterConfig
 from ..metrics import format_series, percent_reduction
-from ..workloads import generate_synthetic_jobs
 from .common import DEFAULT_SEED, PAPER_CLUSTER
+from .runner import SimTask, TaskRunner, execute, sim_task
 
 DEFAULT_SIZES = (2, 4, 6, 8)
 JOBS_PER_NODE = 200
+
+_CONFIGURATIONS = ("MC", "MCC", "MCCK")
 
 
 @dataclass
@@ -32,25 +35,59 @@ class Fig10Result:
         )
 
 
-def run(
+def tasks(
+    sizes: tuple[int, ...] = DEFAULT_SIZES,
+    jobs_per_node: int = JOBS_PER_NODE,
+    config: ClusterConfig = PAPER_CLUSTER,
+    seed: int = DEFAULT_SEED,
+    distribution: str = "normal",
+) -> list[SimTask]:
+    return [
+        sim_task(
+            "fig10", configuration, config.resized(size),
+            ("synthetic", jobs_per_node * size, distribution, seed),
+            label=f"{configuration}@n{size}x{jobs_per_node}",
+        )
+        for size in sizes
+        for configuration in _CONFIGURATIONS
+    ]
+
+
+def merge(
+    values: list,
     sizes: tuple[int, ...] = DEFAULT_SIZES,
     jobs_per_node: int = JOBS_PER_NODE,
     config: ClusterConfig = PAPER_CLUSTER,
     seed: int = DEFAULT_SEED,
     distribution: str = "normal",
 ) -> Fig10Result:
-    makespans: dict[str, list[float]] = {"MC": [], "MCC": [], "MCCK": []}
+    cursor = iter(values)
+    makespans: dict[str, list[float]] = {c: [] for c in _CONFIGURATIONS}
     job_counts: list[int] = []
     for size in sizes:
-        count = jobs_per_node * size
-        job_counts.append(count)
-        job_set = generate_synthetic_jobs(count, distribution, seed=seed)
-        sized = config.resized(size)
-        for configuration in makespans:
-            makespans[configuration].append(
-                run_configuration(configuration, job_set, sized).makespan
-            )
+        job_counts.append(jobs_per_node * size)
+        for configuration in _CONFIGURATIONS:
+            makespans[configuration].append(next(cursor)["makespan"])
     return Fig10Result(sizes=sizes, job_counts=job_counts, makespans=makespans)
+
+
+def run(
+    sizes: tuple[int, ...] = DEFAULT_SIZES,
+    jobs_per_node: int = JOBS_PER_NODE,
+    config: ClusterConfig = PAPER_CLUSTER,
+    seed: int = DEFAULT_SEED,
+    distribution: str = "normal",
+    runner: Optional[TaskRunner] = None,
+) -> Fig10Result:
+    grid = tasks(
+        sizes=sizes, jobs_per_node=jobs_per_node, config=config, seed=seed,
+        distribution=distribution,
+    )
+    values = execute(grid, runner)
+    return merge(
+        values, sizes=sizes, jobs_per_node=jobs_per_node, config=config,
+        seed=seed, distribution=distribution,
+    )
 
 
 def render(result: Fig10Result) -> str:

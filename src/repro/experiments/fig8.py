@@ -10,11 +10,15 @@ beat the exclusive baseline.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Optional
 
-from ..cluster import ClusterConfig, run_configuration
+from ..cluster import ClusterConfig
 from ..metrics import format_table, percent_reduction
-from ..workloads import DISTRIBUTIONS, generate_synthetic_jobs
+from ..workloads import DISTRIBUTIONS
 from .common import DEFAULT_SEED, PAPER_CLUSTER
+from .runner import SimTask, TaskRunner, execute, sim_task
+
+_CONFIGURATIONS = ("MC", "MCC", "MCCK")
 
 
 @dataclass
@@ -28,20 +32,50 @@ class Fig8Result:
         return percent_reduction(base, self.makespans[distribution][configuration])
 
 
-def run(
+def tasks(
+    jobs: int = 400,
+    config: ClusterConfig = PAPER_CLUSTER,
+    seed: int = DEFAULT_SEED,
+    distributions: tuple[str, ...] = DISTRIBUTIONS,
+) -> list[SimTask]:
+    return [
+        sim_task(
+            "fig8", configuration, config,
+            ("synthetic", jobs, distribution, seed),
+            label=f"{distribution}/{configuration}",
+        )
+        for distribution in distributions
+        for configuration in _CONFIGURATIONS
+    ]
+
+
+def merge(
+    values: list,
     jobs: int = 400,
     config: ClusterConfig = PAPER_CLUSTER,
     seed: int = DEFAULT_SEED,
     distributions: tuple[str, ...] = DISTRIBUTIONS,
 ) -> Fig8Result:
-    makespans: dict[str, dict[str, float]] = {}
-    for distribution in distributions:
-        job_set = generate_synthetic_jobs(jobs, distribution, seed=seed)
-        makespans[distribution] = {
-            configuration: run_configuration(configuration, job_set, config).makespan
-            for configuration in ("MC", "MCC", "MCCK")
-        }
+    cursor = iter(values)
+    makespans = {
+        distribution: {c: next(cursor)["makespan"] for c in _CONFIGURATIONS}
+        for distribution in distributions
+    }
     return Fig8Result(job_count=jobs, makespans=makespans)
+
+
+def run(
+    jobs: int = 400,
+    config: ClusterConfig = PAPER_CLUSTER,
+    seed: int = DEFAULT_SEED,
+    distributions: tuple[str, ...] = DISTRIBUTIONS,
+    runner: Optional[TaskRunner] = None,
+) -> Fig8Result:
+    grid = tasks(jobs=jobs, config=config, seed=seed, distributions=distributions)
+    values = execute(grid, runner)
+    return merge(
+        values, jobs=jobs, config=config, seed=seed, distributions=distributions
+    )
 
 
 def render(result: Fig8Result) -> str:

@@ -10,14 +10,18 @@ MCC widens, while all sharing gains shrink relative to MC.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Optional
 
-from ..cluster import ClusterConfig, run_configuration
+from ..cluster import ClusterConfig
 from ..metrics import format_series
-from ..workloads import DISTRIBUTIONS, generate_synthetic_jobs
+from ..workloads import DISTRIBUTIONS
 from .common import DEFAULT_SEED, PAPER_CLUSTER
+from .runner import SimTask, TaskRunner, execute, sim_task
 
 #: The cluster sizes Fig. 9's x-axis spans.
 DEFAULT_SIZES = (2, 3, 4, 5, 6, 8)
+
+_CONFIGURATIONS = ("MC", "MCC", "MCCK")
 
 
 @dataclass
@@ -28,25 +32,61 @@ class Fig9Result:
     makespans: dict[str, dict[str, list[float]]]
 
 
-def run(
+def tasks(
+    jobs: int = 400,
+    sizes: tuple[int, ...] = DEFAULT_SIZES,
+    config: ClusterConfig = PAPER_CLUSTER,
+    seed: int = DEFAULT_SEED,
+    distributions: tuple[str, ...] = DISTRIBUTIONS,
+) -> list[SimTask]:
+    return [
+        sim_task(
+            "fig9", configuration, config.resized(size),
+            ("synthetic", jobs, distribution, seed),
+            label=f"{distribution}/{configuration}@n{size}",
+        )
+        for distribution in distributions
+        for size in sizes
+        for configuration in _CONFIGURATIONS
+    ]
+
+
+def merge(
+    values: list,
     jobs: int = 400,
     sizes: tuple[int, ...] = DEFAULT_SIZES,
     config: ClusterConfig = PAPER_CLUSTER,
     seed: int = DEFAULT_SEED,
     distributions: tuple[str, ...] = DISTRIBUTIONS,
 ) -> Fig9Result:
+    cursor = iter(values)
     makespans: dict[str, dict[str, list[float]]] = {}
     for distribution in distributions:
-        job_set = generate_synthetic_jobs(jobs, distribution, seed=seed)
-        series: dict[str, list[float]] = {"MC": [], "MCC": [], "MCCK": []}
-        for size in sizes:
-            sized = config.resized(size)
-            for configuration in series:
-                series[configuration].append(
-                    run_configuration(configuration, job_set, sized).makespan
-                )
+        series: dict[str, list[float]] = {c: [] for c in _CONFIGURATIONS}
+        for _size in sizes:
+            for configuration in _CONFIGURATIONS:
+                series[configuration].append(next(cursor)["makespan"])
         makespans[distribution] = series
     return Fig9Result(job_count=jobs, sizes=sizes, makespans=makespans)
+
+
+def run(
+    jobs: int = 400,
+    sizes: tuple[int, ...] = DEFAULT_SIZES,
+    config: ClusterConfig = PAPER_CLUSTER,
+    seed: int = DEFAULT_SEED,
+    distributions: tuple[str, ...] = DISTRIBUTIONS,
+    runner: Optional[TaskRunner] = None,
+) -> Fig9Result:
+    grid = tasks(
+        jobs=jobs, sizes=sizes, config=config, seed=seed,
+        distributions=distributions,
+    )
+    values = execute(grid, runner)
+    return merge(
+        values, jobs=jobs, sizes=sizes, config=config, seed=seed,
+        distributions=distributions,
+    )
 
 
 def render(result: Fig9Result) -> str:

@@ -9,11 +9,13 @@ distributions. This experiment reruns that measurement on the simulator.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Optional
 
-from ..cluster import ClusterConfig, run_mc
+from ..cluster import ClusterConfig
 from ..metrics import format_table
-from ..workloads import DISTRIBUTIONS, generate_synthetic_jobs, generate_table1_jobs
+from ..workloads import DISTRIBUTIONS
 from .common import DEFAULT_SEED, PAPER_CLUSTER
+from .runner import SimTask, TaskRunner, execute, sim_task
 
 
 @dataclass
@@ -30,23 +32,63 @@ class MotivationResult:
         return (min(values), max(values))
 
 
-def run(
+def tasks(
+    real_jobs: int = 1000,
+    synthetic_jobs: int = 400,
+    config: ClusterConfig = PAPER_CLUSTER,
+    seed: int = DEFAULT_SEED,
+) -> list[SimTask]:
+    grid = [
+        sim_task(
+            "motivation", "MC", config, ("table1", real_jobs, seed),
+            label="table1/MC",
+        )
+    ]
+    for distribution in DISTRIBUTIONS:
+        grid.append(
+            sim_task(
+                "motivation", "MC", config,
+                ("synthetic", synthetic_jobs, distribution, seed),
+                label=f"{distribution}/MC",
+            )
+        )
+    return grid
+
+
+def merge(
+    values: list,
     real_jobs: int = 1000,
     synthetic_jobs: int = 400,
     config: ClusterConfig = PAPER_CLUSTER,
     seed: int = DEFAULT_SEED,
 ) -> MotivationResult:
-    real = run_mc(generate_table1_jobs(real_jobs, seed=seed), config)
-    synthetic: dict[str, float] = {}
     counts = {"real": real_jobs}
-    for distribution in DISTRIBUTIONS:
-        jobs = generate_synthetic_jobs(synthetic_jobs, distribution, seed=seed)
-        synthetic[distribution] = run_mc(jobs, config).mean_core_utilization
+    synthetic: dict[str, float] = {}
+    for distribution, value in zip(DISTRIBUTIONS, values[1:]):
+        synthetic[distribution] = value["utilization"]
         counts[distribution] = synthetic_jobs
     return MotivationResult(
-        real_mix_utilization=real.mean_core_utilization,
+        real_mix_utilization=values[0]["utilization"],
         synthetic_utilization=synthetic,
         job_counts=counts,
+    )
+
+
+def run(
+    real_jobs: int = 1000,
+    synthetic_jobs: int = 400,
+    config: ClusterConfig = PAPER_CLUSTER,
+    seed: int = DEFAULT_SEED,
+    runner: Optional[TaskRunner] = None,
+) -> MotivationResult:
+    grid = tasks(
+        real_jobs=real_jobs, synthetic_jobs=synthetic_jobs, config=config,
+        seed=seed,
+    )
+    values = execute(grid, runner)
+    return merge(
+        values, real_jobs=real_jobs, synthetic_jobs=synthetic_jobs,
+        config=config, seed=seed,
     )
 
 

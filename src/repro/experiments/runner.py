@@ -1,0 +1,218 @@
+"""Parallel experiment runner: task grids over a process pool.
+
+The paper's evaluation decomposes into hundreds of independent
+simulation *cells* — one ``run_configuration`` call per (workload x
+cluster shape x software stack) point — and every cell owns its own
+:class:`~repro.sim.Environment`, so the harness is embarrassingly
+parallel. Experiment modules declare their grid as picklable
+:class:`SimTask` values (``tasks()``), a pure function reconstructs
+each cell from its parameters (``compute_task``), and a deterministic
+``merge()`` folds the cell values — in grid order, never completion
+order — back into the module's result dataclass. Parallel output is
+therefore byte-identical to sequential output (asserted in
+``tests/test_runner_determinism.py``).
+
+:class:`TaskRunner` fans cache misses out over a
+``ProcessPoolExecutor`` and consults the content-addressed
+:class:`~repro.experiments.cache.ResultCache` first, so a warm rerun
+touches no simulator code at all.
+
+Cell kinds
+----------
+``sim``
+    The shared workhorse: one ``run_configuration`` call described by
+    ``configuration`` (MC / MCC / MCCK), a ``config``
+    (:class:`~repro.cluster.ClusterConfig`, already resized/tuned) and
+    a ``workload`` spec (see :func:`repro.experiments.common.make_workload`).
+    Because the cache key ignores the experiment name, identical cells
+    are shared across experiments — fig8's 8-node cells are the same
+    entries fig9 computes for its size sweep.
+``run:<experiment>``
+    A whole-experiment task for modules that are cheap or exact
+    (fig7, ext-oversubscription): the worker calls ``module.run``.
+``<experiment>.<name>``
+    Module-specific cells (the ablations) dispatched to the module's
+    ``compute(task)``.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass, field
+from typing import Any, Optional, Sequence, Tuple
+
+from ..cluster import run_configuration
+from .cache import ResultCache
+from .common import make_workload
+
+
+def _freeze(value: Any) -> Any:
+    """Make a parameter value hashable/stable (dicts and lists ordered)."""
+    if isinstance(value, dict):
+        return tuple(sorted((k, _freeze(v)) for k, v in value.items()))
+    if isinstance(value, (list, tuple)):
+        return tuple(_freeze(v) for v in value)
+    return value
+
+
+@dataclass(frozen=True)
+class SimTask:
+    """One picklable simulation cell.
+
+    ``params`` is a sorted tuple of ``(name, value)`` pairs built from
+    primitives and frozen dataclasses only, so a task can be pickled to
+    a worker process and content-addressed for the cache. ``label`` is
+    display-only and excluded from equality and the cache key.
+    """
+
+    experiment: str
+    kind: str
+    params: Tuple[Tuple[str, Any], ...]
+    label: str = field(default="", compare=False)
+
+    @classmethod
+    def make(
+        cls, experiment: str, kind: str, label: str = "", **params: Any
+    ) -> "SimTask":
+        frozen = tuple(sorted((k, _freeze(v)) for k, v in params.items()))
+        return cls(experiment, kind, frozen, label or kind)
+
+    def kwargs(self) -> dict:
+        return dict(self.params)
+
+
+def sim_task(
+    experiment: str,
+    configuration: str,
+    config: Any,
+    workload: Tuple[Any, ...],
+    label: str = "",
+) -> SimTask:
+    """The common cell: one configuration on one workload and cluster."""
+    return SimTask.make(
+        experiment,
+        "sim",
+        label=label or f"{configuration}@n{config.nodes}",
+        configuration=configuration,
+        config=config,
+        workload=workload,
+    )
+
+
+def compute_task(task: SimTask) -> Any:
+    """Recompute one cell from its parameters (runs in worker processes)."""
+    if task.kind == "sim":
+        p = task.kwargs()
+        job_set = make_workload(p["workload"])
+        result = run_configuration(p["configuration"], job_set, p["config"])
+        return {
+            "makespan": result.makespan,
+            "utilization": result.mean_core_utilization,
+        }
+    # Imported lazily: the registry imports the experiment modules,
+    # which import this module for SimTask/execute.
+    from . import EXPERIMENTS
+
+    module = EXPERIMENTS[task.experiment]
+    if task.kind == f"run:{task.experiment}":
+        return module.run(**task.kwargs())
+    return module.compute(task)
+
+
+def _timed_compute(task: SimTask) -> Tuple[Any, float]:
+    started = time.perf_counter()
+    value = compute_task(task)
+    return value, time.perf_counter() - started
+
+
+@dataclass
+class CellOutcome:
+    """One executed (or cache-served) cell, with provenance for the CLI."""
+
+    task: SimTask
+    value: Any
+    seconds: float
+    cached: bool
+
+
+class TaskRunner:
+    """Execute task grids: cache first, then a process pool for misses.
+
+    ``workers <= 1`` computes misses inline (no pool, no pickling
+    round-trip), which is also the mode used when an experiment's
+    ``run()`` is called directly without a runner.
+    """
+
+    def __init__(
+        self,
+        workers: Optional[int] = None,
+        cache: Optional[ResultCache] = None,
+    ) -> None:
+        self.workers = workers if workers is not None else (os.cpu_count() or 1)
+        if self.workers < 1:
+            raise ValueError("workers must be >= 1")
+        self.cache = cache
+        self.outcomes: list[CellOutcome] = []
+
+    def map_tasks(self, tasks: Sequence[SimTask]) -> list[CellOutcome]:
+        """Run every task, returning outcomes in task order."""
+        outcomes: list[Optional[CellOutcome]] = [None] * len(tasks)
+        first_index: dict[SimTask, int] = {}
+        duplicates: dict[int, int] = {}
+        miss_indices: list[int] = []
+        for i, task in enumerate(tasks):
+            if self.cache is not None:
+                hit, value = self.cache.get(task)
+                if hit:
+                    outcomes[i] = CellOutcome(task, value, 0.0, True)
+                    continue
+            # Identical cells within one grid (e.g. fig8's 8-node cells
+            # reappear in fig9's size sweep) are computed once and
+            # fanned back out.
+            if task in first_index:
+                duplicates[i] = first_index[task]
+                continue
+            first_index[task] = i
+            miss_indices.append(i)
+
+        if miss_indices:
+            missing = [tasks[i] for i in miss_indices]
+            if self.workers <= 1 or len(missing) == 1:
+                computed = [_timed_compute(task) for task in missing]
+            else:
+                max_workers = min(self.workers, len(missing))
+                with ProcessPoolExecutor(max_workers=max_workers) as pool:
+                    computed = list(
+                        pool.map(_timed_compute, missing, chunksize=1)
+                    )
+            for i, (value, seconds) in zip(miss_indices, computed):
+                outcomes[i] = CellOutcome(tasks[i], value, seconds, False)
+                if self.cache is not None:
+                    self.cache.put(tasks[i], value)
+
+        for i, source in duplicates.items():
+            original = outcomes[source]
+            assert original is not None
+            outcomes[i] = CellOutcome(tasks[i], original.value, 0.0, True)
+
+        final = [outcome for outcome in outcomes if outcome is not None]
+        assert len(final) == len(tasks)
+        self.outcomes.extend(final)
+        return final
+
+    @property
+    def computed(self) -> int:
+        return sum(1 for o in self.outcomes if not o.cached)
+
+    @property
+    def served_from_cache(self) -> int:
+        return sum(1 for o in self.outcomes if o.cached)
+
+
+def execute(tasks: Sequence[SimTask], runner: Optional[TaskRunner] = None) -> list[Any]:
+    """Cell values for a grid: inline when no runner is supplied."""
+    if runner is None:
+        return [compute_task(task) for task in tasks]
+    return [outcome.value for outcome in runner.map_tasks(tasks)]

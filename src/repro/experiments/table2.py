@@ -13,10 +13,13 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Optional
 
-from ..cluster import ClusterConfig, run_mc, run_mcc, run_mcck
-from ..metrics import FootprintResult, find_footprint, format_table, percent_reduction
-from ..workloads import generate_table1_jobs
+from ..cluster import ClusterConfig
+from ..metrics import FootprintResult, footprint_from_curve, format_table, percent_reduction
 from .common import DEFAULT_SEED, PAPER_CLUSTER
+from .runner import SimTask, TaskRunner, execute, sim_task
+
+_CONFIGURATIONS = ("MC", "MCC", "MCCK")
+_FOOTPRINT_CONFIGS = ("MCC", "MCCK")
 
 
 @dataclass
@@ -30,35 +33,72 @@ class Table2Result:
         return percent_reduction(self.makespans["MC"], self.makespans[configuration])
 
 
-def run(
+def tasks(
+    jobs: int = 1000,
+    config: ClusterConfig = PAPER_CLUSTER,
+    seed: int = DEFAULT_SEED,
+    footprint: bool = True,
+) -> list[SimTask]:
+    """The cell grid: three full-size runs, then the footprint sweeps.
+
+    The sequential harness bisected the footprint with an early-exit
+    scan; here every cluster size is an independent cell so the whole
+    sweep parallelises, and ``merge`` reads the footprint off the
+    finished makespan-vs-size curve.
+    """
+    workload = ("table1", jobs, seed)
+    grid = [
+        sim_task("table2", c, config, workload) for c in _CONFIGURATIONS
+    ]
+    if footprint:
+        for c in _FOOTPRINT_CONFIGS:
+            for size in range(1, config.nodes + 1):
+                grid.append(
+                    sim_task("table2", c, config.resized(size), workload)
+                )
+    return grid
+
+
+def merge(
+    values: list,
     jobs: int = 1000,
     config: ClusterConfig = PAPER_CLUSTER,
     seed: int = DEFAULT_SEED,
     footprint: bool = True,
 ) -> Table2Result:
-    job_set = generate_table1_jobs(jobs, seed=seed)
-    mc = run_mc(job_set, config)
-    mcc = run_mcc(job_set, config)
-    mcck = run_mcck(job_set, config)
-    makespans = {"MC": mc.makespan, "MCC": mcc.makespan, "MCCK": mcck.makespan}
-
+    head = values[: len(_CONFIGURATIONS)]
+    makespans = {
+        c: v["makespan"] for c, v in zip(_CONFIGURATIONS, head)
+    }
     footprints: dict[str, FootprintResult] = {}
     if footprint:
-        target = mc.makespan
-        footprints["MCC"] = find_footprint(
-            lambda n: run_mcc(job_set, config.resized(n)).makespan,
-            target, max_size=config.nodes,
-        )
-        footprints["MCCK"] = find_footprint(
-            lambda n: run_mcck(job_set, config.resized(n)).makespan,
-            target, max_size=config.nodes,
-        )
+        target = makespans["MC"]
+        sweep = values[len(_CONFIGURATIONS):]
+        for index, c in enumerate(_FOOTPRINT_CONFIGS):
+            chunk = sweep[index * config.nodes:(index + 1) * config.nodes]
+            curve = {
+                size: v["makespan"]
+                for size, v in zip(range(1, config.nodes + 1), chunk)
+            }
+            footprints[c] = footprint_from_curve(target, curve)
     return Table2Result(
         job_count=jobs,
         makespans=makespans,
         footprints=footprints,
-        mc_utilization=mc.mean_core_utilization,
+        mc_utilization=head[0]["utilization"],
     )
+
+
+def run(
+    jobs: int = 1000,
+    config: ClusterConfig = PAPER_CLUSTER,
+    seed: int = DEFAULT_SEED,
+    footprint: bool = True,
+    runner: Optional[TaskRunner] = None,
+) -> Table2Result:
+    grid = tasks(jobs=jobs, config=config, seed=seed, footprint=footprint)
+    values = execute(grid, runner)
+    return merge(values, jobs=jobs, config=config, seed=seed, footprint=footprint)
 
 
 _PAPER = {

@@ -8,11 +8,15 @@ makespan matches the 8-node MC baseline. Paper: MCCK 5 / 5 / 3 / 6 nodes
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Optional
 
-from ..cluster import ClusterConfig, run_mc, run_mcc, run_mcck
-from ..metrics import FootprintResult, find_footprint, format_table
-from ..workloads import DISTRIBUTIONS, generate_synthetic_jobs
+from ..cluster import ClusterConfig
+from ..metrics import FootprintResult, footprint_from_curve, format_table
+from ..workloads import DISTRIBUTIONS
 from .common import DEFAULT_SEED, PAPER_CLUSTER
+from .runner import SimTask, TaskRunner, execute, sim_task
+
+_FOOTPRINT_CONFIGS = ("MCC", "MCCK")
 
 
 @dataclass
@@ -23,7 +27,35 @@ class Table3Result:
     mc_makespans: dict[str, float]
 
 
-def run(
+def tasks(
+    jobs: int = 400,
+    config: ClusterConfig = PAPER_CLUSTER,
+    seed: int = DEFAULT_SEED,
+    distributions: tuple[str, ...] = DISTRIBUTIONS,
+) -> list[SimTask]:
+    """Per distribution: the MC target, then full footprint sweeps."""
+    grid: list[SimTask] = []
+    for distribution in distributions:
+        workload = ("synthetic", jobs, distribution, seed)
+        grid.append(
+            sim_task(
+                "table3", "MC", config, workload,
+                label=f"{distribution}/MC@n{config.nodes}",
+            )
+        )
+        for c in _FOOTPRINT_CONFIGS:
+            for size in range(1, config.nodes + 1):
+                grid.append(
+                    sim_task(
+                        "table3", c, config.resized(size), workload,
+                        label=f"{distribution}/{c}@n{size}",
+                    )
+                )
+    return grid
+
+
+def merge(
+    values: list,
     jobs: int = 400,
     config: ClusterConfig = PAPER_CLUSTER,
     seed: int = DEFAULT_SEED,
@@ -31,22 +63,33 @@ def run(
 ) -> Table3Result:
     footprints: dict[str, dict[str, FootprintResult]] = {}
     mc_makespans: dict[str, float] = {}
+    cursor = iter(values)
     for distribution in distributions:
-        job_set = generate_synthetic_jobs(jobs, distribution, seed=seed)
-        target = run_mc(job_set, config).makespan
+        target = next(cursor)["makespan"]
         mc_makespans[distribution] = target
-        footprints[distribution] = {
-            "MCC": find_footprint(
-                lambda n: run_mcc(job_set, config.resized(n)).makespan,
-                target, max_size=config.nodes,
-            ),
-            "MCCK": find_footprint(
-                lambda n: run_mcck(job_set, config.resized(n)).makespan,
-                target, max_size=config.nodes,
-            ),
-        }
+        footprints[distribution] = {}
+        for c in _FOOTPRINT_CONFIGS:
+            curve = {
+                size: next(cursor)["makespan"]
+                for size in range(1, config.nodes + 1)
+            }
+            footprints[distribution][c] = footprint_from_curve(target, curve)
     return Table3Result(
         job_count=jobs, footprints=footprints, mc_makespans=mc_makespans
+    )
+
+
+def run(
+    jobs: int = 400,
+    config: ClusterConfig = PAPER_CLUSTER,
+    seed: int = DEFAULT_SEED,
+    distributions: tuple[str, ...] = DISTRIBUTIONS,
+    runner: Optional[TaskRunner] = None,
+) -> Table3Result:
+    grid = tasks(jobs=jobs, config=config, seed=seed, distributions=distributions)
+    values = execute(grid, runner)
+    return merge(
+        values, jobs=jobs, config=config, seed=seed, distributions=distributions
     )
 
 

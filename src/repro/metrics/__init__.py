@@ -9,7 +9,7 @@ from .analysis import (
     offload_stats,
     queue_stats,
 )
-from .footprint import FootprintResult, find_footprint
+from .footprint import FootprintResult, find_footprint, footprint_from_curve
 from .replication import Replicated, compare, replicate
 from .makespan import MakespanStats, makespan_of, summarize
 from .timeline import cluster_timeline, device_timeline, legend
@@ -35,6 +35,7 @@ __all__ = [
     "cluster_utilization",
     "device_timeline",
     "find_footprint",
+    "footprint_from_curve",
     "format_series",
     "format_table",
     "legend",

@@ -59,5 +59,24 @@ def find_footprint(
         makespan = run_at_size(size)
         makespans[size] = makespan
         if makespan <= target_makespan:
-            return FootprintResult(target_makespan, size, makespans)
-    return FootprintResult(target_makespan, None, makespans)
+            break
+    return footprint_from_curve(target_makespan, makespans)
+
+
+def footprint_from_curve(
+    target_makespan: float, makespans: dict[int, float]
+) -> FootprintResult:
+    """Footprint from an already-measured makespan-vs-size curve.
+
+    The parallel harness computes every size of the sweep as an
+    independent cell, so the search reduces to scanning the finished
+    curve: the smallest size whose makespan meets the target. Produces
+    the same ``cluster_size`` as the incremental scan in
+    :func:`find_footprint`.
+    """
+    if target_makespan <= 0:
+        raise ValueError("target_makespan must be positive")
+    for size in sorted(makespans):
+        if makespans[size] <= target_makespan:
+            return FootprintResult(target_makespan, size, dict(makespans))
+    return FootprintResult(target_makespan, None, dict(makespans))

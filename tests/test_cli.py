@@ -5,21 +5,27 @@ import pytest
 from repro.cli import main
 
 
+@pytest.fixture(autouse=True)
+def isolated_cache(tmp_path, monkeypatch):
+    """Keep CLI runs out of the user's real result cache."""
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "cache"))
+
+
 class TestCLI:
     def test_fig7_runs(self, capsys):
-        assert main(["fig7", "--jobs", "100"]) == 0
+        assert main(["fig7", "--job-count", "100"]) == 0
         out = capsys.readouterr().out
         assert "Fig. 7" in out
         assert "[fig7:" in out
 
     def test_table2_with_job_override(self, capsys):
-        assert main(["table2", "--jobs", "24"]) == 0
+        assert main(["table2", "--job-count", "24"]) == 0
         out = capsys.readouterr().out
         assert "Table II" in out
         assert "MCCK" in out
 
     def test_motivation_job_mapping(self, capsys):
-        assert main(["motivation", "--jobs", "30"]) == 0
+        assert main(["motivation", "--job-count", "30"]) == 0
         out = capsys.readouterr().out
         assert "core utilization" in out.lower()
 
@@ -27,11 +33,43 @@ class TestCLI:
         with pytest.raises(SystemExit):
             main(["nope"])
 
+    def test_bad_worker_count_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["fig7", "--jobs", "0"])
+
     def test_seed_flag(self, capsys):
-        main(["fig7", "--jobs", "50", "--seed", "7"])
+        main(["fig7", "--job-count", "50", "--seed", "7"])
         first = capsys.readouterr().out
-        main(["fig7", "--jobs", "50", "--seed", "7"])
+        main(["fig7", "--job-count", "50", "--seed", "7"])
         second = capsys.readouterr().out
-        # Deterministic output modulo the timing line.
+        # Deterministic output modulo the timing lines.
         strip = lambda s: [l for l in s.splitlines() if not l.startswith("[")]
         assert strip(first) == strip(second)
+
+    def test_no_cache_recomputes(self, capsys):
+        main(["fig7", "--job-count", "50", "--no-cache"])
+        main(["fig7", "--job-count", "50", "--no-cache"])
+        out = capsys.readouterr().out
+        assert "0 computed" not in out
+
+    def test_warm_cache_rerun_serves_cells(self, capsys):
+        main(["table2", "--job-count", "24"])
+        capsys.readouterr()
+        main(["table2", "--job-count", "24"])
+        out = capsys.readouterr().out
+        assert "(0 computed" in out
+
+    def test_clear_cache_flag(self, capsys):
+        main(["fig7", "--job-count", "50"])
+        capsys.readouterr()
+        assert main(["fig7", "--job-count", "50", "--clear-cache"]) == 0
+        out = capsys.readouterr().out
+        assert "(1 computed, 0 cached)" in out
+
+    def test_save_writes_artifact(self, tmp_path, monkeypatch, capsys):
+        results = tmp_path / "results"
+        monkeypatch.setenv("REPRO_RESULTS_DIR", str(results))
+        assert main(["fig7", "--job-count", "50", "--save"]) == 0
+        saved = results / "fig7.txt"
+        assert saved.exists()
+        assert "Fig. 7" in saved.read_text()

@@ -1,0 +1,36 @@
+"""Regression: parallel fan-out output is byte-identical to sequential.
+
+The runner merges cell values in grid order — never completion order —
+so ``--jobs 4`` must render exactly what ``--jobs 1`` renders. These
+tests exercise the real ``ProcessPoolExecutor`` path at smoke scale.
+"""
+
+import pytest
+
+from repro.cli import main
+
+
+@pytest.fixture(autouse=True)
+def no_cache_bleed(tmp_path, monkeypatch):
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "cache"))
+
+
+def _rendered(capsys, argv) -> list[str]:
+    assert main(argv) == 0
+    out = capsys.readouterr().out
+    # Timing/status lines are bracketed; everything else is the artifact.
+    return [line for line in out.splitlines() if not line.startswith("[")]
+
+
+@pytest.mark.parametrize("experiment", ["table2", "fig8"])
+def test_parallel_matches_sequential(experiment, capsys):
+    base = [experiment, "--job-count", "24", "--no-cache"]
+    sequential = _rendered(capsys, base + ["--jobs", "1"])
+    parallel = _rendered(capsys, base + ["--jobs", "4"])
+    assert parallel == sequential
+
+
+def test_cached_rerun_matches_cold_run(capsys):
+    cold = _rendered(capsys, ["fig8", "--job-count", "24", "--jobs", "2"])
+    warm = _rendered(capsys, ["fig8", "--job-count", "24", "--jobs", "2"])
+    assert warm == cold
