@@ -48,6 +48,7 @@ _FULL_JOBS = {
     "ablation-cycle": 400,
     "ablation-placement": 400,
     "ext-capacity": 400,
+    "ext-faults": 200,
     "ext-multidevice": 400,
     "ext-oversubscription": None,
     "ext-replication": 400,
@@ -67,6 +68,7 @@ _QUICK_JOBS = {
     "ablation-cycle": 120,
     "ablation-placement": 120,
     "ext-capacity": 120,
+    "ext-faults": 60,
     "ext-multidevice": 120,
     "ext-oversubscription": None,
     "ext-replication": 60,
@@ -80,13 +82,22 @@ _FIG10_JOBS_PER_NODE = 200
 _MAX_CELL_LINES = 12
 
 
-def _experiment_kwargs(name: str, jobs: Optional[int], seed: int, scale: float) -> dict:
+def _experiment_kwargs(
+    name: str,
+    jobs: Optional[int],
+    seed: int,
+    scale: float,
+    fault_rates: Optional[Sequence[float]] = None,
+) -> dict:
     """Keyword arguments for one experiment's task grid.
 
     ``jobs`` is the explicit ``--job-count`` override; otherwise the
-    quick/full table entry scaled by ``REPRO_SCALE``.
+    quick/full table entry scaled by ``REPRO_SCALE``. ``fault_rates``
+    (from ``--fault-rate``) only applies to ext-faults.
     """
     kwargs: dict = {"seed": seed}
+    if name == "ext-faults" and fault_rates:
+        kwargs["rates"] = tuple(fault_rates)
     if name == "ext-oversubscription":
         return kwargs  # exact experiment: no job count to scale
     if jobs is not None:
@@ -159,6 +170,13 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     )
     parser.add_argument("--seed", type=int, default=42, help="workload seed")
     parser.add_argument(
+        "--fault-rate", type=float, action="append", default=None,
+        dest="fault_rates", metavar="RATE",
+        help="ext-faults: fault events per 1000 simulated seconds; repeat "
+        "for a sweep (default: 0 0.5 1 2 4). The fault schedule seed is "
+        "derived from --seed.",
+    )
+    parser.add_argument(
         "--no-cache", action="store_true",
         help="recompute every cell; do not read or write the result cache",
     )
@@ -175,6 +193,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
 
     if args.jobs is not None and args.jobs < 1:
         parser.error("--jobs must be >= 1")
+    if args.fault_rates and any(rate < 0 for rate in args.fault_rates):
+        parser.error("--fault-rate must be non-negative")
 
     cache: Optional[ResultCache] = None
     if args.clear_cache:
@@ -192,7 +212,9 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         base = args.job_count
         if base is None and table[name] is not None:
             base = scaled(table[name], scale) if scale != 1.0 else table[name]
-        kwargs = _experiment_kwargs(name, base, args.seed, scale)
+        kwargs = _experiment_kwargs(
+            name, base, args.seed, scale, fault_rates=args.fault_rates
+        )
         plans.append((name, kwargs, _grid_for(name, kwargs)))
 
     started = time.perf_counter()

@@ -122,6 +122,26 @@ class ComputeNode:
             self.runtimes.append(runtime)
             self._locks.append(Resource(env, capacity=1))
 
+    # -- failure surface -------------------------------------------------------
+
+    def fail_device(self, index: int):
+        """Take one card down; returns the failure cause for reuse.
+
+        In-flight offloads on the card are interrupted with the cause;
+        the startd layer additionally interrupts jobs matched to the
+        card that are *between* offloads (host phases, transfers, gate
+        or admission queues).
+        """
+        if not 0 <= index < len(self.devices):
+            raise ValueError(f"no device {index} on {self.name}")
+        return self.devices[index].fail()
+
+    def restore_device(self, index: int) -> None:
+        """Bring one card back after a reset or node reboot."""
+        if not 0 <= index < len(self.devices):
+            raise ValueError(f"no device {index} on {self.name}")
+        self.devices[index].restore()
+
     # -- NodeExecutor interface ------------------------------------------------
 
     def device_states(self) -> list[DeviceSnapshot]:
@@ -144,6 +164,7 @@ class ComputeNode:
                     resident_jobs=resident,
                     hardware_threads=device.spec.hardware_threads,
                     claimed_exclusive=False,  # overlaid by the startd
+                    failed=device.state != "healthy",
                 )
             )
         return states
@@ -171,16 +192,23 @@ class ComputeNode:
             if not 0 <= device_index < len(self.devices):
                 raise ValueError(f"no device {device_index} on {self.name}")
             return device_index
+        healthy = [
+            i for i, d in enumerate(self.devices) if d.state == "healthy"
+        ]
+        if not healthy:
+            # Every card is down: route to device 0, whose DeviceFailed
+            # surfaces as an infrastructure failure the schedd retries.
+            return 0
         if self.mode == "cosmic":
             # Most free declared memory first (sharing-friendly).
             frees = [
-                (cosmic.free_declared_memory_mb, -i)
-                for i, cosmic in enumerate(self.cosmics)
-                if cosmic is not None
+                (self.cosmics[i].free_declared_memory_mb, -i)
+                for i in healthy
+                if self.cosmics[i] is not None
             ]
             return -max(frees)[1]
         # Exclusive / unsafe: least-loaded device.
-        return min(range(len(self.devices)), key=lambda i: (self._running[i], i))
+        return min(healthy, key=lambda i: (self._running[i], i))
 
     # -- execution regimes --------------------------------------------------------
 
@@ -199,7 +227,19 @@ class ComputeNode:
         cosmic = self.cosmics[index]
         assert cosmic is not None
         declared = profile.declared_memory_mb
-        yield cosmic.admit_job(declared)
+        admit = cosmic.admit_job(declared)
+        try:
+            yield admit
+        except BaseException:
+            # A fault interrupt landed while we queued for admission:
+            # withdraw an ungranted reservation, or return a granted one
+            # the interrupt beat us to (its grant already deducted the
+            # memory pool).
+            if admit.triggered:
+                cosmic.release_job(declared)
+            else:
+                admit.cancel()
+            raise
         self._running[index] += 1
         try:
             result = yield from self.runtimes[index].execute(profile)

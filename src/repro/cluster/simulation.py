@@ -16,6 +16,8 @@ from dataclasses import dataclass, field
 from typing import Optional, Sequence
 
 from ..condor import (
+    COMPLETED,
+    FAILED,
     CondorPool,
     ExclusivePlacement,
     PinnedPlacement,
@@ -23,6 +25,7 @@ from ..condor import (
     RandomPlacement,
 )
 from ..core import DevicePacker, KnapsackClusterScheduler
+from ..faults import FaultInjector, FaultProfile, FaultSchedule
 from ..mpss import JobRunResult, SCIFModel
 from ..phi import PAPER_SPEC, XeonPhiSpec
 from ..sim import Environment
@@ -80,6 +83,14 @@ class SimulationResult:
     memory_limit_kills: int
     negotiation_cycles: int
     packing_decisions: int = 0
+    #: Jobs that exhausted their retries on infrastructure failures.
+    infra_failed_jobs: int = 0
+    #: Failed runs sent back through the backoff/requeue path.
+    requeues: int = 0
+    #: Jobs that completed after at least one failed attempt.
+    retried_completed: int = 0
+    #: Fault events actually applied by the injector (0 without faults).
+    faults_injected: int = 0
 
     @property
     def mean_core_utilization(self) -> float:
@@ -102,6 +113,7 @@ def _build(
     config: ClusterConfig,
     mode: str,
     policy: PlacementPolicy,
+    faults: Optional[FaultProfile] = None,
 ) -> tuple[Environment, CondorPool, list[ComputeNode]]:
     env = Environment()
     nodes = [
@@ -116,6 +128,12 @@ def _build(
         )
         for i in range(config.nodes)
     ]
+    # Heartbeat staleness only matters under faults; a fault-free pool
+    # keeps the collector's default (always-fresh) behaviour so outputs
+    # stay byte-identical with the pre-fault subsystem.
+    heartbeat_timeout = None
+    if faults is not None and not faults.is_null:
+        heartbeat_timeout = 3.0 * faults.heartbeat_interval_s
     pool = CondorPool(
         env,
         nodes,
@@ -124,10 +142,36 @@ def _build(
         cycle_interval=config.cycle_interval,
         dispatch_latency=config.dispatch_latency,
         reschedule_on_completion=config.reschedule_on_completion,
+        heartbeat_timeout=heartbeat_timeout,
     )
     _validate_jobs(jobs, config)
     pool.submit(list(jobs))
     return env, pool, nodes
+
+
+def _attach_faults(
+    env: Environment,
+    pool: CondorPool,
+    nodes: list[ComputeNode],
+    faults: Optional[FaultProfile],
+    fault_seed: int,
+    scheduler: Optional[KnapsackClusterScheduler] = None,
+) -> Optional[FaultInjector]:
+    """Wire a fault injector into a built cluster; None when fault-free.
+
+    A null/absent profile attaches nothing at all — zero extra events —
+    so fault-free runs are indistinguishable from runs predating the
+    faults subsystem.
+    """
+    if faults is None or faults.is_null:
+        return None
+    schedule = FaultSchedule.generate(faults, fault_seed)
+    injector = FaultInjector(env, schedule, pool, nodes)
+    if scheduler is not None:
+        injector.device_failed_listeners.append(scheduler.on_device_failed)
+        injector.device_restored_listeners.append(scheduler.on_device_restored)
+    injector.start()
+    return injector
 
 
 def _validate_jobs(jobs: Sequence[JobProfile], config: ClusterConfig) -> None:
@@ -145,6 +189,7 @@ def _collect(
     nodes: list[ComputeNode],
     makespan: float,
     packing_decisions: int = 0,
+    injector: Optional[FaultInjector] = None,
 ) -> SimulationResult:
     devices = [device for node in nodes for device in node.devices]
     horizon = makespan if makespan > 0 else 1.0
@@ -152,13 +197,19 @@ def _collect(
         device.telemetry.core_utilization(device.spec.cores, 0.0, horizon)
         for device in devices
     ]
-    results = [
-        record.result
-        for record in pool.schedd.completed()
+    records = [
+        record
+        for record in pool.schedd.all_records()
         if record.result is not None
     ]
+    results = [record.result for record in records]
     memory_limit_kills = sum(1 for r in results if r.status == "memory-limit")
     oom_kills = sum(device.telemetry.oom_kills for device in devices)
+    retried_completed = sum(
+        1 for record in records
+        if record.status == COMPLETED and record.attempts > 0
+    )
+    infra_failed = sum(1 for record in records if record.status == FAILED)
     return SimulationResult(
         configuration=configuration,
         cluster_size=config.nodes,
@@ -170,22 +221,35 @@ def _collect(
         memory_limit_kills=memory_limit_kills,
         negotiation_cycles=pool.negotiator.cycles_run,
         packing_decisions=packing_decisions,
+        infra_failed_jobs=infra_failed,
+        requeues=pool.schedd.requeues,
+        retried_completed=retried_completed,
+        faults_injected=injector.applied if injector is not None else 0,
     )
 
 
 def run_mc(
-    jobs: Sequence[JobProfile], config: ClusterConfig = ClusterConfig()
+    jobs: Sequence[JobProfile],
+    config: ClusterConfig = ClusterConfig(),
+    faults: Optional[FaultProfile] = None,
+    fault_seed: int = 0,
 ) -> SimulationResult:
     """Baseline: exclusive coprocessor allocation (MPSS + Condor)."""
-    env, pool, nodes = _build(jobs, config, mode="exclusive", policy=ExclusivePlacement())
+    env, pool, nodes = _build(
+        jobs, config, mode="exclusive", policy=ExclusivePlacement(),
+        faults=faults,
+    )
+    injector = _attach_faults(env, pool, nodes, faults, fault_seed)
     makespan = pool.run_to_completion()
-    return _collect("MC", config, pool, nodes, makespan)
+    return _collect("MC", config, pool, nodes, makespan, injector=injector)
 
 
 def run_mcc(
     jobs: Sequence[JobProfile],
     config: ClusterConfig = ClusterConfig(),
     memory_aware: bool = False,
+    faults: Optional[FaultProfile] = None,
+    fault_seed: int = 0,
 ) -> SimulationResult:
     """MPSS + Condor + COSMIC: random placement, safe node-level sharing.
 
@@ -197,13 +261,18 @@ def run_mcc(
     env, pool, nodes = _build(
         jobs, config, mode="cosmic",
         policy=RandomPlacement(rng, memory_aware=memory_aware),
+        faults=faults,
     )
+    injector = _attach_faults(env, pool, nodes, faults, fault_seed)
     makespan = pool.run_to_completion()
-    return _collect("MCC", config, pool, nodes, makespan)
+    return _collect("MCC", config, pool, nodes, makespan, injector=injector)
 
 
 def run_best_fit(
-    jobs: Sequence[JobProfile], config: ClusterConfig = ClusterConfig()
+    jobs: Sequence[JobProfile],
+    config: ClusterConfig = ClusterConfig(),
+    faults: Optional[FaultProfile] = None,
+    fault_seed: int = 0,
 ) -> SimulationResult:
     """Extra baseline (not in the paper): best-fit placement over COSMIC.
 
@@ -213,9 +282,12 @@ def run_best_fit(
     """
     from ..condor.negotiator import BestFitPlacement
 
-    env, pool, nodes = _build(jobs, config, mode="cosmic", policy=BestFitPlacement())
+    env, pool, nodes = _build(
+        jobs, config, mode="cosmic", policy=BestFitPlacement(), faults=faults
+    )
+    injector = _attach_faults(env, pool, nodes, faults, fault_seed)
     makespan = pool.run_to_completion()
-    return _collect("BESTFIT", config, pool, nodes, makespan)
+    return _collect("BESTFIT", config, pool, nodes, makespan, injector=injector)
 
 
 def run_mcck(
@@ -223,9 +295,13 @@ def run_mcck(
     config: ClusterConfig = ClusterConfig(),
     packer: Optional[DevicePacker] = None,
     respect_host_slots: bool = True,
+    faults: Optional[FaultProfile] = None,
+    fault_seed: int = 0,
 ) -> SimulationResult:
     """The proposed system: knapsack cluster scheduler over COSMIC."""
-    env, pool, nodes = _build(jobs, config, mode="cosmic", policy=PinnedPlacement())
+    env, pool, nodes = _build(
+        jobs, config, mode="cosmic", policy=PinnedPlacement(), faults=faults
+    )
     if packer is None:
         # The paper's packing rule: a set whose declared threads exceed
         # the hardware budget has zero knapsack value (hard cap).
@@ -234,10 +310,14 @@ def run_mcck(
         pool, packer=packer, respect_host_slots=respect_host_slots
     )
     scheduler.attach()
+    injector = _attach_faults(
+        env, pool, nodes, faults, fault_seed, scheduler=scheduler
+    )
     makespan = pool.run_to_completion()
     return _collect(
         "MCCK", config, pool, nodes, makespan,
         packing_decisions=len(scheduler.decisions),
+        injector=injector,
     )
 
 
@@ -245,15 +325,19 @@ def run_configuration(
     configuration: str,
     jobs: Sequence[JobProfile],
     config: ClusterConfig = ClusterConfig(),
+    faults: Optional[FaultProfile] = None,
+    fault_seed: int = 0,
     **kwargs,
 ) -> SimulationResult:
     """Dispatch by configuration name ("MC" / "MCC" / "MCCK")."""
     if configuration == "MC":
-        return run_mc(jobs, config)
+        return run_mc(jobs, config, faults=faults, fault_seed=fault_seed)
     if configuration == "MCC":
-        return run_mcc(jobs, config)
+        return run_mcc(jobs, config, faults=faults, fault_seed=fault_seed)
     if configuration == "MCCK":
-        return run_mcck(jobs, config, **kwargs)
+        return run_mcck(
+            jobs, config, faults=faults, fault_seed=fault_seed, **kwargs
+        )
     raise ValueError(
         f"unknown configuration {configuration!r}; choose from {CONFIGURATIONS}"
     )

@@ -20,7 +20,17 @@ from .negotiator import (
     RandomPlacement,
 )
 from .pool import CondorPool
-from .schedd import COMPLETED, IDLE, RUNNING, JobRecord, Schedd
+from .schedd import (
+    BACKOFF,
+    COMPLETED,
+    FAILED,
+    IDLE,
+    INFRASTRUCTURE_STATUSES,
+    RUNNING,
+    JobRecord,
+    RetryPolicy,
+    Schedd,
+)
 from .startd import NodeExecutor, Startd
 from .tools import condor_q, condor_status
 from .submit import (
@@ -31,9 +41,13 @@ from .submit import (
 )
 
 __all__ = [
+    "BACKOFF",
     "BestFitPlacement",
     "COMPLETED",
     "ClassAd",
+    "FAILED",
+    "INFRASTRUCTURE_STATUSES",
+    "RetryPolicy",
     "ClassAdError",
     "Collector",
     "CondorPool",

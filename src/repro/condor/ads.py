@@ -26,6 +26,8 @@ class DeviceSnapshot:
     resident_jobs: int
     hardware_threads: int
     claimed_exclusive: bool
+    #: The card is down (failed or resetting); unplaceable until restored.
+    failed: bool = False
 
 
 @dataclass
@@ -44,11 +46,15 @@ class MachineSnapshot:
     @property
     def devices_free(self) -> int:
         """Devices with no exclusive claim (the MC baseline's resource)."""
-        return sum(1 for d in self.devices if not d.claimed_exclusive)
+        return sum(
+            1 for d in self.devices if not d.claimed_exclusive and not d.failed
+        )
 
     def best_device_for(self, declared_mb: float) -> Optional[DeviceSnapshot]:
         """Sharing placement: the device with most free declared memory."""
-        usable = [d for d in self.devices if not d.claimed_exclusive]
+        usable = [
+            d for d in self.devices if not d.claimed_exclusive and not d.failed
+        ]
         if not usable:
             return None
         return max(usable, key=lambda d: (d.free_declared_mb, -d.index))
@@ -56,7 +62,11 @@ class MachineSnapshot:
     def first_free_device(self) -> Optional[DeviceSnapshot]:
         """Exclusive placement: lowest-index unclaimed device."""
         for device in self.devices:
-            if not device.claimed_exclusive and device.resident_jobs == 0:
+            if (
+                not device.claimed_exclusive
+                and not device.failed
+                and device.resident_jobs == 0
+            ):
                 return device
         return None
 
@@ -114,16 +124,22 @@ def job_ad(
 
 
 def machine_ad(snapshot: MachineSnapshot) -> ClassAd:
-    """Build a node's advertised ClassAd from a negotiation snapshot."""
-    memory = max((d.memory_mb for d in snapshot.devices), default=0.0)
-    free_declared = max((d.free_declared_mb for d in snapshot.devices), default=0.0)
+    """Build a node's advertised ClassAd from a negotiation snapshot.
+
+    Failed cards are invisible: they are excluded from the device count
+    and from the advertised memory, so matchmaking never routes a job to
+    a node whose only cards are down.
+    """
+    usable = [d for d in snapshot.devices if not d.failed]
+    memory = max((d.memory_mb for d in usable), default=0.0)
+    free_declared = max((d.free_declared_mb for d in usable), default=0.0)
     ad = ClassAd(
         {
             "Name": f"slot1@{snapshot.node}",
             "Machine": snapshot.node,
             "TotalSlots": snapshot.total_slots,
             "FreeSlots": snapshot.free_slots,
-            "PhiDevices": len(snapshot.devices),
+            "PhiDevices": len(usable),
             "PhiDevicesFree": snapshot.devices_free,
             "PhiMemory": float(memory),
             "PhiFreeMemory": float(free_declared),

@@ -5,24 +5,82 @@ negotiator then works from the collector's (slightly stale) view. We
 model the pull at the start of each negotiation cycle, which corresponds
 to updates arriving just in time — the staleness that matters for the
 paper (dispatch waiting for the next cycle) lives in the negotiator.
+
+Failure model: a crashed node is *deregistered* (the fault injector
+knows the exact moment), and — as the detection backstop real pools rely
+on — a node whose heartbeat goes stale is dropped from the negotiation
+snapshots until it reports again. Heartbeats are opt-in: with no
+``heartbeat_timeout`` configured and no heartbeats recorded, behaviour
+is identical to the fault-free collector.
 """
 
 from __future__ import annotations
+
+from typing import Optional
 
 from .ads import MachineSnapshot
 from .startd import Startd
 
 
 class Collector:
-    """Registry of startds; serves fresh snapshots to the negotiator."""
+    """Registry of startds; serves fresh snapshots to the negotiator.
 
-    def __init__(self) -> None:
+    Parameters
+    ----------
+    heartbeat_timeout:
+        Seconds without a heartbeat after which a node is considered
+        dead. ``None`` (default) disables staleness checking entirely.
+    """
+
+    def __init__(self, heartbeat_timeout: Optional[float] = None) -> None:
+        if heartbeat_timeout is not None and heartbeat_timeout <= 0:
+            raise ValueError("heartbeat_timeout must be positive")
+        self.heartbeat_timeout = heartbeat_timeout
         self._startds: dict[str, Startd] = {}
+        self._dead: set[str] = set()
+        self._heartbeats: dict[str, float] = {}
 
     def register(self, startd: Startd) -> None:
         if startd.name in self._startds:
             raise ValueError(f"node {startd.name!r} already registered")
         self._startds[startd.name] = startd
+
+    def deregister(self, name: str) -> None:
+        """Drop a crashed node from matchmaking (it stays in the registry)."""
+        if name not in self._startds:
+            raise KeyError(f"node {name!r} is not registered")
+        self._dead.add(name)
+
+    def reinstate(self, name: str) -> None:
+        """Readmit a rebooted node to matchmaking."""
+        if name not in self._startds:
+            raise KeyError(f"node {name!r} is not registered")
+        self._dead.discard(name)
+
+    def record_heartbeat(self, name: str, now: float) -> None:
+        """Note a liveness report from ``name`` at simulation time ``now``."""
+        if name not in self._startds:
+            raise KeyError(f"node {name!r} is not registered")
+        self._heartbeats[name] = now
+
+    def is_alive(self, name: str, now: Optional[float] = None) -> bool:
+        """Whether ``name`` should be offered to the negotiator.
+
+        Deregistered nodes are dead. Staleness applies only when a
+        timeout is configured, ``now`` is supplied, *and* the node has
+        ever heartbeated — so pools that never enable heartbeats behave
+        exactly as before.
+        """
+        if name in self._dead:
+            return False
+        if (
+            self.heartbeat_timeout is not None
+            and now is not None
+            and name in self._heartbeats
+            and now - self._heartbeats[name] > self.heartbeat_timeout
+        ):
+            return False
+        return True
 
     def startd(self, name: str) -> Startd:
         return self._startds[name]
@@ -31,12 +89,17 @@ class Collector:
     def startds(self) -> list[Startd]:
         return list(self._startds.values())
 
-    def snapshots(self) -> list[MachineSnapshot]:
-        """Current state of every node, in registration order."""
-        return [s.snapshot() for s in self._startds.values()]
+    def snapshots(self, now: Optional[float] = None) -> list[MachineSnapshot]:
+        """Current state of every live node, in registration order."""
+        return [
+            s.snapshot()
+            for s in self._startds.values()
+            if self.is_alive(s.name, now)
+        ]
 
     def __len__(self) -> int:
         return len(self._startds)
 
     def __repr__(self) -> str:
-        return f"<Collector nodes={len(self._startds)}>"
+        dead = len(self._dead)
+        return f"<Collector nodes={len(self._startds)} dead={dead}>"

@@ -124,6 +124,7 @@ class RandomPlacement(PlacementPolicy):
                 d
                 for d in snapshot.devices
                 if not d.claimed_exclusive
+                and not d.failed
                 and (not self.memory_aware or d.free_declared_mb >= declared)
             ]
             if fitting:
@@ -140,6 +141,7 @@ class RandomPlacement(PlacementPolicy):
             s.free_slots > 0
             and any(
                 not d.claimed_exclusive
+                and not d.failed
                 and (not self.memory_aware or d.free_declared_mb >= declared)
                 for d in s.devices
             )
@@ -163,7 +165,7 @@ class BestFitPlacement(PlacementPolicy):
             if snapshot.free_slots <= 0:
                 continue
             for device in snapshot.devices:
-                if device.claimed_exclusive:
+                if device.claimed_exclusive or device.failed:
                     continue
                 slack = device.free_declared_mb - declared
                 if slack < 0:
@@ -180,7 +182,9 @@ class BestFitPlacement(PlacementPolicy):
         return any(
             s.free_slots > 0
             and any(
-                not d.claimed_exclusive and d.free_declared_mb >= declared
+                not d.claimed_exclusive
+                and not d.failed
+                and d.free_declared_mb >= declared
                 for d in s.devices
             )
             for s in snapshots
@@ -199,8 +203,16 @@ class PinnedPlacement(PlacementPolicy):
         device_attr = record.ad.evaluate("AssignedPhiDevice")
         device_index = int(device_attr) if isinstance(device_attr, (int, float)) else 0
         for snapshot in candidates:
-            if snapshot.free_slots > 0:
-                return snapshot, device_index, False
+            if snapshot.free_slots <= 0:
+                continue
+            device = next(
+                (d for d in snapshot.devices if d.index == device_index), None
+            )
+            if device is not None and device.failed:
+                # The pinned card is down; the external scheduler will
+                # re-pack the job, so don't dispatch it into a failure.
+                continue
+            return snapshot, device_index, False
         return None
 
 
@@ -268,7 +280,7 @@ class Negotiator:
     def negotiate_once(self) -> int:
         """One negotiation cycle; returns the number of matches made."""
         self.cycles_run += 1
-        snapshots = self.collector.snapshots()
+        snapshots = self.collector.snapshots(self.env.now)
         # Machine ads are rebuilt only when a match changes a snapshot.
         ads = {id(snapshot): machine_ad(snapshot) for snapshot in snapshots}
         matched = 0
@@ -294,6 +306,10 @@ class Negotiator:
             )
             ads[id(snapshot)] = machine_ad(snapshot)
             startd = self.collector.startd(snapshot.node)
+            if not startd.alive:
+                # The node died inside the staleness window; skip the
+                # match rather than dispatching into a crash.
+                continue
             startd.start_job(record, device_index, exclusive)
             matched += 1
         self.matches_made += matched

@@ -8,7 +8,7 @@ from ..sim import Environment
 from ..workloads.profiles import JobProfile
 from .collector import Collector
 from .negotiator import Negotiator, PlacementPolicy
-from .schedd import Schedd
+from .schedd import RetryPolicy, Schedd
 from .startd import NodeExecutor, Startd
 
 
@@ -29,13 +29,15 @@ class CondorPool:
         cycle_interval: float = 15.0,
         dispatch_latency: float = 1.0,
         reschedule_on_completion: bool = False,
+        retry_policy: Optional[RetryPolicy] = None,
+        heartbeat_timeout: Optional[float] = None,
     ) -> None:
         if not executors:
             raise ValueError("a pool needs at least one node")
         self.env = env
         self.policy = policy
-        self.schedd = Schedd(env)
-        self.collector = Collector()
+        self.schedd = Schedd(env, retry_policy=retry_policy)
+        self.collector = Collector(heartbeat_timeout=heartbeat_timeout)
         self.startds: list[Startd] = []
         for executor in executors:
             startd = Startd(

@@ -14,16 +14,66 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Callable, Optional
 
+from ..faults.errors import DEVICE_FAILED, JOB_CRASHED, NODE_LOST
 from ..mpss.runtime import JobRunResult
 from ..sim import Environment, Event
 from ..workloads.profiles import JobProfile
 from .ads import job_ad
-from .classad import ClassAd
+from .classad import ClassAd, Expr
 
 IDLE = "Idle"
 RUNNING = "Running"
 COMPLETED = "Completed"
 REMOVED = "Removed"
+#: Waiting out the retry backoff after an infrastructure failure.
+BACKOFF = "Backoff"
+#: Terminally failed: retries exhausted (or the failure is not retryable).
+FAILED = "Failed"
+
+#: Result statuses that mean the *infrastructure* failed the job. Only
+#: these are retryable — kill-by-container statuses ("memory-limit",
+#: "oom-killed") are the job's own fault and rerunning would fail again.
+INFRASTRUCTURE_STATUSES = frozenset(
+    {DEVICE_FAILED, NODE_LOST, JOB_CRASHED, "infrastructure"}
+)
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Bounded retry with exponential backoff for infrastructure failures.
+
+    A job is retried at most ``max_retries`` times (so it runs at most
+    ``max_retries + 1`` times), waiting
+    ``base_backoff_s * backoff_factor ** (attempt - 1)`` seconds (capped
+    at ``max_backoff_s``) before re-entering the idle queue. The bound
+    is what prevents a retry storm when a failure is persistent.
+    """
+
+    max_retries: int = 3
+    base_backoff_s: float = 30.0
+    backoff_factor: float = 2.0
+    max_backoff_s: float = 600.0
+
+    def __post_init__(self) -> None:
+        if self.max_retries < 0:
+            raise ValueError("max_retries must be non-negative")
+        if self.base_backoff_s < 0 or self.max_backoff_s < 0:
+            raise ValueError("backoff times must be non-negative")
+        if self.backoff_factor < 1.0:
+            raise ValueError("backoff_factor must be >= 1")
+
+    def should_retry(self, status: str, attempts: int) -> bool:
+        """Whether a job with ``attempts`` failed runs gets another."""
+        return status in INFRASTRUCTURE_STATUSES and attempts <= self.max_retries
+
+    def backoff(self, attempt: int) -> float:
+        """Delay before re-queueing after failed run number ``attempt``."""
+        if attempt <= 0:
+            raise ValueError("attempt must be positive")
+        return min(
+            self.max_backoff_s,
+            self.base_backoff_s * self.backoff_factor ** (attempt - 1),
+        )
 
 
 @dataclass
@@ -39,6 +89,13 @@ class JobRecord:
     completion: Optional[Event] = None
     matched_node: Optional[str] = None
     matched_device: Optional[int] = None
+    #: Failed runs so far (infrastructure failures only).
+    attempts: int = 0
+    #: Result of every failed run, in order.
+    failures: list[JobRunResult] = field(default_factory=list)
+    #: The submit-time Requirements expression, restored on requeue so a
+    #: retried job sheds any pin/park the previous attempt carried.
+    base_requirements: Optional[Expr] = None
 
     @property
     def is_pending(self) -> bool:
@@ -48,8 +105,11 @@ class JobRecord:
 class Schedd:
     """Job queue and submission endpoint."""
 
-    def __init__(self, env: Environment) -> None:
+    def __init__(
+        self, env: Environment, retry_policy: Optional[RetryPolicy] = None
+    ) -> None:
         self.env = env
+        self.retry_policy = retry_policy or RetryPolicy()
         self._records: dict[str, JobRecord] = {}
         self._seq = 0
         #: Callbacks invoked with the JobRecord whenever a job completes.
@@ -60,6 +120,18 @@ class Schedd:
         self.submit_listeners: list[Callable[[JobRecord], None]] = []
         #: Callbacks invoked with the JobRecord when a job starts running.
         self.start_listeners: list[Callable[[JobRecord], None]] = []
+        #: Callbacks invoked with ``(record, result, requeued)`` when a
+        #: run dies to an infrastructure failure.
+        self.failure_listeners: list[
+            Callable[[JobRecord, JobRunResult, bool], None]
+        ] = []
+        #: Callbacks invoked with the JobRecord when a failed job
+        #: re-enters the idle queue after its backoff.
+        self.requeue_listeners: list[Callable[[JobRecord], None]] = []
+        #: Times any job re-entered the queue after a failure.
+        self.requeues = 0
+        #: Jobs that exhausted their retries (or were unretryable).
+        self.terminal_failures = 0
         #: Event that triggers once every submitted job has left the queue.
         self._all_done: Optional[Event] = None
 
@@ -82,6 +154,7 @@ class Schedd:
             seq=self._seq,
             completion=self.env.event(),
         )
+        record.base_requirements = record.ad.get_expr("Requirements")
         self._records[profile.job_id] = record
         for listener in list(self.submit_listeners):
             listener(record)
@@ -119,6 +192,10 @@ class Schedd:
     def completed(self) -> list[JobRecord]:
         return [r for r in self._records.values() if r.status == COMPLETED]
 
+    def failed(self) -> list[JobRecord]:
+        """Jobs that terminally failed (retries exhausted)."""
+        return [r for r in self._records.values() if r.status == FAILED]
+
     @property
     def total_jobs(self) -> int:
         return len(self._records)
@@ -126,7 +203,9 @@ class Schedd:
     @property
     def unfinished_jobs(self) -> int:
         return sum(
-            1 for r in self._records.values() if r.status in (IDLE, RUNNING)
+            1
+            for r in self._records.values()
+            if r.status in (IDLE, RUNNING, BACKOFF)
         )
 
     # -- qedit -------------------------------------------------------------
@@ -167,6 +246,62 @@ class Schedd:
         record.completion.succeed(result)
         for listener in list(self.completion_listeners):
             listener(record)
+        self._check_all_done()
+
+    def mark_failed(self, job_id: str, result: JobRunResult) -> None:
+        """Report an infrastructure-failed run; requeue or fail the job.
+
+        ``result.status`` must be an infrastructure status (device lost,
+        node lost, transient crash). The retry policy decides between a
+        backoff + requeue and a terminal failure. Kill-by-container
+        outcomes ("memory-limit", "oom-killed") are *completions* — the
+        job itself misbehaved — and must go through
+        :meth:`mark_completed` as before.
+        """
+        record = self._records[job_id]
+        if record.status != RUNNING:
+            raise ValueError(f"job {job_id!r} is {record.status}, not running")
+        record.attempts += 1
+        record.failures.append(result)
+        record.matched_node = None
+        record.matched_device = None
+        retry = self.retry_policy.should_retry(result.status, record.attempts)
+        if retry:
+            record.status = BACKOFF
+            record.ad["JobStatus"] = BACKOFF
+            delay = self.retry_policy.backoff(record.attempts)
+            self.env.process(
+                self._requeue_after(record, delay), name=f"requeue:{job_id}"
+            )
+        else:
+            record.status = FAILED
+            record.result = result
+            record.ad["JobStatus"] = FAILED
+            self.terminal_failures += 1
+            assert record.completion is not None
+            # succeed (not fail): the result object carries the failure
+            # status, and an un-waited failed event would crash the
+            # simulation as an unhandled exception.
+            record.completion.succeed(result)
+        for listener in list(self.failure_listeners):
+            listener(record, result, retry)
+        if not retry:
+            self._check_all_done()
+
+    def _requeue_after(self, record: JobRecord, delay: float):
+        yield self.env.timeout(max(0.0, delay))
+        record.status = IDLE
+        record.ad["JobStatus"] = IDLE
+        if record.base_requirements is not None:
+            # Shed the previous attempt's pin/park so the job can match
+            # anywhere again; an attached knapsack scheduler re-parks it
+            # through its requeue listener.
+            record.ad["Requirements"] = record.base_requirements
+        self.requeues += 1
+        for listener in list(self.requeue_listeners):
+            listener(record)
+
+    def _check_all_done(self) -> None:
         if self._all_done is not None and self.unfinished_jobs == 0:
             if not self._all_done.triggered:
                 self._all_done.succeed(self.env.now)

@@ -5,14 +5,23 @@ Condor layer to the node's execution engine. Starting a job reproduces
 the shadow/starter handshake as a fixed dispatch latency, then drives the
 node executor (MPSS + optional COSMIC) to completion and reports back to
 the schedd.
+
+Failure model: the startd also owns the node-side failure surface. It
+tracks the jobs it is currently running so the fault injector can
+interrupt them (one job, one device's worth, or the whole node), and the
+starter classifies every death through the ``fault_status`` attribute
+protocol (see :mod:`repro.faults.errors`): an infrastructure failure is
+reported via :meth:`Schedd.mark_failed` (retryable), while
+kill-by-container outcomes keep flowing through ``mark_completed``.
 """
 
 from __future__ import annotations
 
-from typing import Optional, Protocol
+from typing import Any, Optional, Protocol
 
+from ..faults.errors import fault_status_of
 from ..mpss.runtime import JobRunResult
-from ..sim import Environment
+from ..sim import Environment, Interrupt
 from ..workloads.profiles import JobProfile
 from .ads import DeviceSnapshot, MachineSnapshot
 from .schedd import JobRecord, Schedd
@@ -69,6 +78,10 @@ class Startd:
         self._busy_slots = 0
         self._exclusive_claims: set[int] = set()
         self.started_jobs = 0
+        #: False while the node is crashed; a dead startd accepts no jobs.
+        self.alive = True
+        #: Jobs currently running here: job_id -> (record, process, device).
+        self._active: dict[str, tuple[JobRecord, Any, Optional[int]]] = {}
 
     @property
     def name(self) -> str:
@@ -77,6 +90,10 @@ class Startd:
     @property
     def free_slots(self) -> int:
         return self.slots - self._busy_slots
+
+    @property
+    def active_jobs(self) -> int:
+        return len(self._active)
 
     def snapshot(self) -> MachineSnapshot:
         """The node's negotiation-time state (collector update)."""
@@ -90,6 +107,7 @@ class Startd:
                     resident_jobs=state.resident_jobs,
                     hardware_threads=state.hardware_threads,
                     claimed_exclusive=state.index in self._exclusive_claims,
+                    failed=state.failed,
                 )
             )
         return MachineSnapshot(
@@ -106,6 +124,8 @@ class Startd:
         exclusive: bool,
     ) -> None:
         """Claim a slot (and optionally a device) and launch the starter."""
+        if not self.alive:
+            raise RuntimeError(f"{self.name}: node is down")
         if self.free_slots <= 0:
             raise RuntimeError(f"{self.name}: no free slots")
         if exclusive:
@@ -119,24 +139,93 @@ class Startd:
         self._busy_slots += 1
         self.started_jobs += 1
         self.schedd.mark_running(record.job_id, self.name, device_index)
-        self.env.process(
+        proc = self.env.process(
             self._starter(record, device_index, exclusive),
             name=f"starter:{record.job_id}@{self.name}",
         )
+        self._active[record.job_id] = (record, proc, device_index)
+
+    # -- failure surface ----------------------------------------------------
+
+    def interrupt_job(self, job_id: str, cause: Any) -> bool:
+        """Interrupt one running job with a fault cause; True if hit."""
+        entry = self._active.get(job_id)
+        if entry is None:
+            return False
+        _record, proc, _device = entry
+        if not proc.is_alive:
+            return False
+        proc.interrupt(cause)
+        return True
+
+    def fail_device_jobs(self, device_index: int, cause: Any) -> int:
+        """Interrupt every active job matched to ``device_index``."""
+        hit = 0
+        for job_id, (_record, proc, device) in list(self._active.items()):
+            if device == device_index and proc.is_alive:
+                proc.interrupt(cause)
+                hit += 1
+        return hit
+
+    def fail_node(self, cause: Any) -> int:
+        """Crash the node: stop accepting jobs, interrupt all active ones.
+
+        Slot and claim bookkeeping unwinds through each starter's
+        ``finally`` as the interrupts land.
+        """
+        self.alive = False
+        hit = 0
+        for job_id, (_record, proc, _device) in list(self._active.items()):
+            if proc.is_alive:
+                proc.interrupt(cause)
+                hit += 1
+        return hit
+
+    def restore(self) -> None:
+        """Bring a crashed node back into service."""
+        self.alive = True
+
+    # -- the starter ---------------------------------------------------------
 
     def _starter(self, record: JobRecord, device_index, exclusive):
+        started = self.env.now
+        result: Optional[JobRunResult] = None
+        failure_status: Optional[str] = None
         try:
-            if self.dispatch_latency > 0:
-                yield self.env.timeout(self.dispatch_latency)
-            result = yield from self.executor.execute(
-                record.profile, device_index, exclusive
-            )
+            try:
+                if self.dispatch_latency > 0:
+                    yield self.env.timeout(self.dispatch_latency)
+                result = yield from self.executor.execute(
+                    record.profile, device_index, exclusive
+                )
+            except Interrupt as interrupt:
+                failure_status = fault_status_of(interrupt.cause)
+                if failure_status is None:
+                    raise  # not a fault: a genuine simulation error
+            except Exception as exc:
+                failure_status = fault_status_of(exc)
+                if failure_status is None:
+                    raise
         finally:
+            self._active.pop(record.job_id, None)
             self._busy_slots -= 1
             if exclusive and device_index is not None:
                 self._exclusive_claims.discard(device_index)
+        if failure_status is not None:
+            failed = JobRunResult(
+                job_id=record.job_id,
+                start=started,
+                end=self.env.now,
+                status=failure_status,
+                offloads_run=0,
+                attempt=record.attempts,
+            )
+            self.schedd.mark_failed(record.job_id, failed)
+            return
         assert isinstance(result, JobRunResult)
+        result.attempt = record.attempts
         self.schedd.mark_completed(record.job_id, result)
 
     def __repr__(self) -> str:
-        return f"<Startd {self.name} slots={self.free_slots}/{self.slots}>"
+        state = "up" if self.alive else "down"
+        return f"<Startd {self.name} ({state}) slots={self.free_slots}/{self.slots}>"

@@ -71,6 +71,8 @@ class KnapsackClusterScheduler:
 
         self._capacity: dict[tuple[str, int], float] = {}
         self._committed: dict[tuple[str, int], float] = {}
+        #: Devices currently failed/resetting: excluded from packing.
+        self._offline: set[tuple[str, int]] = set()
         self._assignment: dict[str, tuple[str, int]] = {}
         self._node_slots: dict[str, int] = {}
         self._node_active: dict[str, int] = {}
@@ -109,6 +111,8 @@ class KnapsackClusterScheduler:
                 self._committed[key] = 0.0
         self.schedd.completion_listeners.append(self._on_completion)
         self.schedd.submit_listeners.append(self._on_submit)
+        self.schedd.failure_listeners.append(self._on_failure)
+        self.schedd.requeue_listeners.append(self._on_requeue)
         for record in self.schedd.pending():
             self._index_add(record)
         self.schedule_pending()
@@ -123,6 +127,8 @@ class KnapsackClusterScheduler:
         """
         assigned = 0
         for key in self._capacity:
+            if key in self._offline:
+                continue
             assigned += self._pack_device(*key)
         self._park_unassigned()
         return assigned
@@ -179,6 +185,8 @@ class KnapsackClusterScheduler:
 
     def _pack_device(self, node: str, device: int) -> int:
         key = (node, device)
+        if key in self._offline:
+            return 0
         free_mb = self._capacity[key] - self._committed[key]
         if free_mb <= 0:
             return 0
@@ -269,6 +277,10 @@ class KnapsackClusterScheduler:
         # devices dirty and trigger ONE zero-delay repack pass, not N
         # full knapsack fills.
         self._dirty_devices.add(key)
+        self._schedule_repack()
+
+    def _schedule_repack(self) -> None:
+        """Coalesce same-timestep dirty devices into one zero-delay pass."""
         if self._repack_scheduled:
             self.coalesced_completions += 1
             return
@@ -283,7 +295,94 @@ class KnapsackClusterScheduler:
         self._dirty_devices.clear()
         self.repack_passes += 1
         for node, device in dirty:
+            if (node, device) in self._offline:
+                continue
             self._pack_device(node, device)
+
+    # -- failure handling --------------------------------------------------------
+
+    def _mark_all_online_dirty(self) -> None:
+        for key in self._capacity:
+            if key not in self._offline:
+                self._dirty_devices.add(key)
+
+    def on_device_failed(self, node: str, device: int) -> None:
+        """A coprocessor went down: withdraw it and re-pack its queue.
+
+        Jobs already *running* there fail through the interrupt path and
+        come back via :meth:`_on_failure`; jobs merely *pinned* there
+        (assigned but still idle in the queue) are displaced here: their
+        commitment is withdrawn, they re-enter the pending index, and the
+        pin is replaced with a parking expression until the next pack
+        assigns them a live card.
+        """
+        key = (node, device)
+        if key not in self._capacity:
+            return
+        if key in self._offline:
+            return
+        self._offline.add(key)
+        self._dirty_devices.discard(key)
+        displaced = [
+            job_id for job_id, assigned in self._assignment.items()
+            if assigned == key
+        ]
+        edits = []
+        for job_id in displaced:
+            record = self.schedd.get(job_id)
+            if record.status != IDLE:
+                continue  # running/backoff: the failure path handles it
+            del self._assignment[job_id]
+            self._committed[key] = max(
+                0.0, self._committed[key] - record.profile.declared_memory_mb
+            )
+            self._node_active[node] -= 1
+            self._index_add(record)
+            self._parked.add(job_id)
+            edits.append((job_id, "Requirements", PARK_EXPRESSION))
+        if edits:
+            self.schedd.qedit_batch(edits)
+        # Displaced (and soon requeued) jobs need somewhere to go.
+        self._mark_all_online_dirty()
+        self._schedule_repack()
+
+    def on_device_restored(self, node: str, device: int) -> None:
+        """A reset/rebooted card is back: resume packing onto it."""
+        key = (node, device)
+        if key not in self._offline:
+            return  # idempotent: reset + node reboot may both report it
+        self._offline.discard(key)
+        self._dirty_devices.add(key)
+        self._schedule_repack()
+
+    def _on_failure(self, record: JobRecord, _result, _requeued: bool) -> None:
+        """Failed run: release the device commitment immediately.
+
+        The job itself re-enters the queue through :meth:`_on_requeue`
+        after its backoff (or never, if the failure was terminal); either
+        way the memory it held must be packable right now.
+        """
+        key = self._assignment.pop(record.job_id, None)
+        if key is None:
+            self._pending_index.pop(record.job_id, None)
+            self._parked.discard(record.job_id)
+            return
+        node, _device = key
+        self._committed[key] = max(
+            0.0, self._committed[key] - record.profile.declared_memory_mb
+        )
+        self._node_active[node] -= 1
+        if key not in self._offline:
+            self._dirty_devices.add(key)
+            self._schedule_repack()
+
+    def _on_requeue(self, record: JobRecord) -> None:
+        """Backoff elapsed: park the retry and offer it to the packer."""
+        self._index_add(record)
+        self.schedd.qedit(record.job_id, "Requirements", PARK_EXPRESSION)
+        self._parked.add(record.job_id)
+        self._mark_all_online_dirty()
+        self._schedule_repack()
 
     def start_periodic(self, interval: float):
         """Also re-pack on a timer (for dynamic-arrival scenarios).

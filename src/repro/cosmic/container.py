@@ -28,11 +28,17 @@ class DeclaredMemoryEnforcer:
             raise ValueError("tolerance must be non-negative")
         self.tolerance = tolerance
         self.kills: list[str] = []
+        self._killed: set[str] = set()
 
     def check(self, profile: JobProfile, resident_mb: float) -> None:
         limit = profile.declared_memory_mb * (1.0 + self.tolerance)
         if resident_mb > limit:
-            self.kills.append(profile.job_id)
+            # A job can trip the limit at several offload phases before
+            # its kill unwinds (and again on a retried run): record each
+            # job once so ``kills`` counts jobs, not limit checks.
+            if profile.job_id not in self._killed:
+                self._killed.add(profile.job_id)
+                self.kills.append(profile.job_id)
             raise MemoryLimitExceeded(
                 profile.job_id, resident_mb, profile.declared_memory_mb
             )

@@ -25,6 +25,7 @@ from . import (
     ablation_value,
     common,
     ext_capacity,
+    ext_faults,
     ext_multidevice,
     ext_oversubscription,
     ext_replication,
@@ -51,6 +52,7 @@ EXPERIMENTS = {
     "ablation-cycle": ablation_cycle,
     "ablation-placement": ablation_placement,
     "ext-capacity": ext_capacity,
+    "ext-faults": ext_faults,
     "ext-multidevice": ext_multidevice,
     "ext-oversubscription": ext_oversubscription,
     "ext-replication": ext_replication,
@@ -66,6 +68,7 @@ __all__ = [
     "ablation_value",
     "common",
     "ext_capacity",
+    "ext_faults",
     "ext_multidevice",
     "ext_oversubscription",
     "ext_replication",

@@ -111,6 +111,27 @@ def compute_task(task: SimTask) -> Any:
             "makespan": result.makespan,
             "utilization": result.mean_core_utilization,
         }
+    if task.kind == "sim-faults":
+        p = task.kwargs()
+        job_set = make_workload(p["workload"])
+        result = run_configuration(
+            p["configuration"],
+            job_set,
+            p["config"],
+            faults=p["faults"],
+            fault_seed=p["fault_seed"],
+        )
+        return {
+            "makespan": result.makespan,
+            "utilization": result.mean_core_utilization,
+            "jobs": result.job_count,
+            "completed": result.completed_jobs,
+            "killed": result.memory_limit_kills,
+            "failed": result.infra_failed_jobs,
+            "requeues": result.requeues,
+            "retried": result.retried_completed,
+            "faults_injected": result.faults_injected,
+        }
     # Imported lazily: the registry imports the experiment modules,
     # which import this module for SimTask/execute.
     from . import EXPERIMENTS

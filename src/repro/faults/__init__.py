@@ -1,0 +1,54 @@
+"""Deterministic fault injection and the cluster failure model.
+
+The paper evaluates a healthy cluster; real Phi deployments lose cards
+to hangs and resets, nodes to crashes, and device-side processes to
+transient faults. This package makes those failure modes first-class —
+and *deterministic*: a frozen :class:`FaultProfile` plus one seed fully
+determine the chaos, so degradation curves are reproducible artifacts.
+
+See DESIGN.md ("Failure model") for the recovery-policy walkthrough.
+"""
+
+from .errors import (
+    DEVICE_FAILED,
+    InfrastructureFailure,
+    JOB_CRASHED,
+    JobCrashed,
+    NODE_LOST,
+    NodeLost,
+    fault_status_of,
+)
+from .injector import OUTCOMES, FaultInjector, InjectionRecord
+from .schedule import (
+    DEVICE_FAIL,
+    DEVICE_RESET,
+    JOB_CRASH,
+    KINDS,
+    NODE_CRASH,
+    FaultEvent,
+    FaultProfile,
+    FaultSchedule,
+    derive_fault_seed,
+)
+
+__all__ = [
+    "DEVICE_FAIL",
+    "DEVICE_FAILED",
+    "DEVICE_RESET",
+    "FaultEvent",
+    "FaultInjector",
+    "FaultProfile",
+    "FaultSchedule",
+    "InfrastructureFailure",
+    "InjectionRecord",
+    "JOB_CRASH",
+    "JOB_CRASHED",
+    "JobCrashed",
+    "KINDS",
+    "NODE_CRASH",
+    "NODE_LOST",
+    "NodeLost",
+    "OUTCOMES",
+    "derive_fault_seed",
+    "fault_status_of",
+]

@@ -1,0 +1,60 @@
+"""Infrastructure-failure exceptions and interrupt causes.
+
+The cluster distinguishes two families of job death:
+
+* **kill-by-container** — the job overran its own declaration (COSMIC's
+  container, the card's OOM killer). The job is at fault; rerunning it
+  would fail again, so these are terminal and never retried.
+* **infrastructure failure** — the card hung, the node died, or the
+  device-side process crashed transiently. The job is blameless; the
+  schedd requeues it under a bounded-retry backoff policy.
+
+The two families are told apart through the ``fault_status`` attribute
+protocol: any exception *or* interrupt cause carrying a ``fault_status``
+string is an infrastructure failure, and the string becomes the
+:class:`~repro.mpss.runtime.JobRunResult` status. The protocol avoids
+``isinstance`` checks across package layers — :mod:`repro.phi` defines
+its own :class:`~repro.phi.device.DeviceFailed` with the same attribute
+without importing this module.
+"""
+
+from __future__ import annotations
+
+#: JobRunResult statuses that mean "the infrastructure failed the job".
+DEVICE_FAILED = "device-failed"
+NODE_LOST = "node-lost"
+JOB_CRASHED = "job-crashed"
+
+
+class InfrastructureFailure(Exception):
+    """Base class for failures the job is not responsible for."""
+
+    fault_status = "infrastructure"
+
+
+class NodeLost(InfrastructureFailure):
+    """The compute node crashed (or its MPSS daemon died) under the job."""
+
+    fault_status = NODE_LOST
+
+    def __init__(self, node: str) -> None:
+        super().__init__(f"node {node} lost")
+        self.node = node
+
+
+class JobCrashed(InfrastructureFailure):
+    """The job's device-side process died transiently (not its fault)."""
+
+    fault_status = JOB_CRASHED
+
+    def __init__(self, job_id: str) -> None:
+        super().__init__(f"job {job_id} crashed")
+        self.job_id = job_id
+
+
+def fault_status_of(exc_or_cause: object) -> str | None:
+    """The infrastructure-failure status carried by an exception or
+    interrupt cause, or ``None`` when it is not an infrastructure
+    failure."""
+    status = getattr(exc_or_cause, "fault_status", None)
+    return status if isinstance(status, str) else None

@@ -1,0 +1,276 @@
+"""The fault injector: drives a :class:`FaultSchedule` against a cluster.
+
+One injector process walks the schedule in time order and applies each
+event to the live cluster:
+
+* **device-fail** — a card dies permanently: the device flips to
+  ``"failed"``, in-flight offloads and every job matched to the card are
+  interrupted with a device-failure cause, and the negotiator stops
+  seeing the card in machine ads.
+* **device-reset** — the same, but MPSS brings the card back after
+  ``reset_downtime_s``.
+* **node-crash** — the startd dies: every active job is interrupted with
+  :class:`~repro.faults.errors.NodeLost`, the node is deregistered from
+  the collector, and all its cards go down until the node reboots after
+  ``node_downtime_s``.
+* **job-crash** — one running job's device-side process dies
+  transiently (:class:`~repro.faults.errors.JobCrashed`).
+
+Failed jobs are routed through the schedd's requeue/backoff path; the
+knapsack scheduler (when present) subscribes to the injector's
+``device_failed_listeners`` / ``device_restored_listeners`` to take
+capacity offline and re-pack.
+
+Target selection maps each event's pre-drawn ``pick`` onto the
+deterministically ordered list of currently eligible targets, so runs
+are reproducible even though eligibility depends on simulation state.
+Events that cannot be applied safely are *skipped and logged*, never
+silently dropped: permanent failures (device-fail, node-crash) are
+skipped when they would leave the cluster with zero healthy cards —
+which would deadlock the queue — and any event with no eligible target
+records ``"no-target"``.
+
+This module deliberately imports nothing from :mod:`repro.condor` or
+:mod:`repro.cluster` (it receives the pool and nodes as arguments), so
+those layers can import :mod:`repro.faults` without a cycle.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, Optional
+
+from ..sim import Environment
+from .errors import JobCrashed, NodeLost
+from .schedule import (
+    DEVICE_FAIL,
+    DEVICE_RESET,
+    JOB_CRASH,
+    NODE_CRASH,
+    FaultSchedule,
+)
+
+#: Everything an injection attempt can resolve to.
+OUTCOMES = ("applied", "skipped-last-device", "no-target")
+
+
+@dataclass(frozen=True)
+class InjectionRecord:
+    """The audited outcome of one scheduled fault event."""
+
+    time: float
+    seq: int
+    kind: str
+    target: Optional[str]
+    outcome: str
+
+
+def _pick(items: list, pick: float):
+    """Deterministically map a [0, 1) draw onto a non-empty list."""
+    return items[min(len(items) - 1, int(pick * len(items)))]
+
+
+class FaultInjector:
+    """Applies a fault schedule to a running cluster simulation.
+
+    Parameters
+    ----------
+    env:
+        The simulation environment (shared with the pool).
+    schedule:
+        The pre-generated deterministic event list.
+    pool:
+        The Condor pool under attack (schedd, collector, startds).
+    nodes:
+        The compute nodes backing the pool's startds, in startd order.
+    """
+
+    def __init__(
+        self,
+        env: Environment,
+        schedule: FaultSchedule,
+        pool: Any,
+        nodes: list,
+    ) -> None:
+        self.env = env
+        self.schedule = schedule
+        self.pool = pool
+        self.nodes = list(nodes)
+        self.log: list[InjectionRecord] = []
+        self.applied = 0
+        self.skipped = 0
+        #: Called with ``(node_name, device_index)`` when a card goes
+        #: down / comes back — the knapsack scheduler's repack hooks.
+        self.device_failed_listeners: list[Callable[[str, int], None]] = []
+        self.device_restored_listeners: list[Callable[[str, int], None]] = []
+        self._started = False
+
+    def start(self) -> None:
+        """Launch the injector (and heartbeats) as simulation processes.
+
+        A no-op when the schedule is empty: a null profile must add
+        *zero* events to the simulation so fault-free runs stay
+        byte-identical to runs without the faults subsystem.
+        """
+        if self._started:
+            raise RuntimeError("injector already started")
+        self._started = True
+        if not self.schedule.events:
+            return
+        self.env.process(self._driver(), name="fault-injector")
+        collector = self.pool.collector
+        for startd in self.pool.startds:
+            collector.record_heartbeat(startd.name, self.env.now)
+            self.env.process(
+                self._heartbeat(startd), name=f"heartbeat:{startd.name}"
+            )
+
+    # -- processes ---------------------------------------------------------
+
+    def _driver(self):
+        for event in self.schedule.events:
+            delay = event.time - self.env.now
+            if delay > 0:
+                yield self.env.timeout(delay)
+            outcome, target = self._apply(event)
+            self.log.append(
+                InjectionRecord(
+                    time=self.env.now,
+                    seq=event.seq,
+                    kind=event.kind,
+                    target=target,
+                    outcome=outcome,
+                )
+            )
+            if outcome == "applied":
+                self.applied += 1
+            else:
+                self.skipped += 1
+
+    def _heartbeat(self, startd):
+        interval = self.schedule.profile.heartbeat_interval_s
+        collector = self.pool.collector
+        while True:
+            yield self.env.timeout(interval)
+            if startd.alive:
+                collector.record_heartbeat(startd.name, self.env.now)
+
+    # -- event application -------------------------------------------------
+
+    def _apply(self, event) -> tuple[str, Optional[str]]:
+        if event.kind == DEVICE_FAIL:
+            eligible = self._healthy_devices()
+            if not eligible:
+                return "no-target", None
+            if len(eligible) <= 1:
+                # A permanent loss of the last card would strand the
+                # queue forever; account for the event instead.
+                return "skipped-last-device", None
+            node, index = _pick(eligible, event.pick)
+            self._fail_device(node, index)
+            return "applied", f"{node.name}/mic{index}"
+
+        if event.kind == DEVICE_RESET:
+            eligible = self._healthy_devices()
+            if not eligible:
+                return "no-target", None
+            node, index = _pick(eligible, event.pick)
+            self._fail_device(node, index)
+            self.env.process(
+                self._restore_device_later(node, index),
+                name=f"reset:{node.name}/mic{index}",
+            )
+            return "applied", f"{node.name}/mic{index}"
+
+        if event.kind == NODE_CRASH:
+            alive = [
+                node
+                for node in self.nodes
+                if self.pool.collector.startd(node.name).alive
+            ]
+            if not alive:
+                return "no-target", None
+            node = _pick(alive, event.pick)
+            survivors = [
+                (n, i) for n, i in self._healthy_devices() if n is not node
+            ]
+            if not survivors:
+                return "skipped-last-device", None
+            self._crash_node(node)
+            return "applied", node.name
+
+        if event.kind == JOB_CRASH:
+            running = sorted(self.pool.schedd.running(), key=lambda r: r.seq)
+            if not running:
+                return "no-target", None
+            record = _pick(running, event.pick)
+            startd = self.pool.collector.startd(record.matched_node)
+            startd.interrupt_job(record.job_id, JobCrashed(record.job_id))
+            return "applied", record.job_id
+
+        raise ValueError(f"unknown fault kind {event.kind!r}")
+
+    # -- mechanics ---------------------------------------------------------
+
+    def _healthy_devices(self) -> list[tuple[Any, int]]:
+        """(node, index) pairs usable right now, in deterministic order."""
+        eligible = []
+        for node in self.nodes:
+            if not self.pool.collector.startd(node.name).alive:
+                continue
+            for index, device in enumerate(node.devices):
+                if device.state == "healthy":
+                    eligible.append((node, index))
+        return eligible
+
+    def _fail_device(self, node, index: int) -> None:
+        cause = node.fail_device(index)
+        startd = self.pool.collector.startd(node.name)
+        startd.fail_device_jobs(index, cause)
+        for listener in list(self.device_failed_listeners):
+            listener(node.name, index)
+
+    def _restore_device_later(self, node, index: int):
+        yield self.env.timeout(self.schedule.profile.reset_downtime_s)
+        if not self.pool.collector.startd(node.name).alive:
+            # The node crashed while the card was resetting; the node's
+            # own reboot will bring the card back.
+            return
+        node.restore_device(index)
+        for listener in list(self.device_restored_listeners):
+            listener(node.name, index)
+
+    def _crash_node(self, node) -> None:
+        startd = self.pool.collector.startd(node.name)
+        # Interrupt every active job with the node-loss cause *before*
+        # failing the cards, so jobs report "node-lost" rather than the
+        # per-card cause (interrupts fire in scheduling order).
+        startd.fail_node(NodeLost(node.name))
+        for index, device in enumerate(node.devices):
+            if device.state == "healthy":
+                node.fail_device(index)
+                for listener in list(self.device_failed_listeners):
+                    listener(node.name, index)
+        self.pool.collector.deregister(node.name)
+        self.env.process(
+            self._restore_node_later(node), name=f"reboot:{node.name}"
+        )
+
+    def _restore_node_later(self, node):
+        yield self.env.timeout(self.schedule.profile.node_downtime_s)
+        startd = self.pool.collector.startd(node.name)
+        for index, device in enumerate(node.devices):
+            if device.state != "healthy":
+                node.restore_device(index)
+        startd.restore()
+        self.pool.collector.reinstate(node.name)
+        self.pool.collector.record_heartbeat(node.name, self.env.now)
+        for index in range(len(node.devices)):
+            for listener in list(self.device_restored_listeners):
+                listener(node.name, index)
+
+    def __repr__(self) -> str:
+        return (
+            f"<FaultInjector events={len(self.schedule.events)} "
+            f"applied={self.applied} skipped={self.skipped}>"
+        )

@@ -1,0 +1,172 @@
+"""Deterministic fault schedules: seeded, picklable, content-addressable.
+
+A :class:`FaultProfile` declares *rates* (events per 1000 simulated
+seconds, cluster-wide, per category) and recovery timings; a
+:class:`FaultSchedule` is the concrete, fully deterministic realisation
+of a profile under one seed — exponential inter-arrival times per
+category, merged into one time-ordered event list. Target selection is
+*not* part of the schedule: each event carries a ``pick`` value in
+[0, 1) that the injector maps onto the (deterministically ordered) set
+of currently eligible targets at injection time, so the same seed always
+produces the same chaos even though the eligible set depends on how the
+simulation unfolded.
+
+Both dataclasses are frozen and built from primitives only, so a
+profile can ride inside a :class:`~repro.experiments.runner.SimTask`'s
+parameters — making the fault configuration part of the experiment
+cache key (cached results never mix fault configurations).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import random
+from dataclasses import dataclass, replace
+
+#: Event kinds, in the deterministic generation order.
+DEVICE_FAIL = "device-fail"  # permanent card loss
+DEVICE_RESET = "device-reset"  # card hang + MPSS reset: downtime, then back
+NODE_CRASH = "node-crash"  # whole node lost, reboots after downtime
+JOB_CRASH = "job-crash"  # one running job dies transiently
+
+KINDS = (DEVICE_FAIL, DEVICE_RESET, NODE_CRASH, JOB_CRASH)
+
+
+def derive_fault_seed(seed: int) -> int:
+    """Derive the fault-schedule seed from the workload seed.
+
+    One RNG spine: the CLI's ``--seed`` names the workload; the fault
+    seed is a stable hash of it, so the pair can never drift apart and
+    two runs with the same ``--seed`` see identical chaos.
+    """
+    digest = hashlib.sha256(f"fault-schedule:{seed}".encode()).digest()
+    return int.from_bytes(digest[:8], "big")
+
+
+@dataclass(frozen=True)
+class FaultProfile:
+    """Rates and recovery timings for one chaos configuration.
+
+    Rates are expected events per 1000 simulated seconds across the
+    whole cluster; ``0.0`` everywhere (the default) is the null profile
+    and injects nothing — byte-identical to running without faults.
+    """
+
+    device_fail_rate: float = 0.0
+    device_reset_rate: float = 0.0
+    node_crash_rate: float = 0.0
+    job_crash_rate: float = 0.0
+    #: Seconds a reset card stays down before MPSS brings it back.
+    reset_downtime_s: float = 60.0
+    #: Seconds a crashed node takes to reboot and re-advertise.
+    node_downtime_s: float = 300.0
+    #: Generation horizon: no events are scheduled past this time.
+    horizon_s: float = 50_000.0
+    #: Collector heartbeat period while chaos is active.
+    heartbeat_interval_s: float = 30.0
+
+    def __post_init__(self) -> None:
+        for name in ("device_fail_rate", "device_reset_rate",
+                     "node_crash_rate", "job_crash_rate"):
+            if getattr(self, name) < 0:
+                raise ValueError(f"{name} must be non-negative")
+        if self.reset_downtime_s < 0 or self.node_downtime_s < 0:
+            raise ValueError("downtimes must be non-negative")
+        if self.horizon_s <= 0:
+            raise ValueError("horizon_s must be positive")
+        if self.heartbeat_interval_s <= 0:
+            raise ValueError("heartbeat_interval_s must be positive")
+
+    @property
+    def is_null(self) -> bool:
+        """True when the profile injects nothing."""
+        return (
+            self.device_fail_rate == 0.0
+            and self.device_reset_rate == 0.0
+            and self.node_crash_rate == 0.0
+            and self.job_crash_rate == 0.0
+        )
+
+    @property
+    def total_rate(self) -> float:
+        return (
+            self.device_fail_rate
+            + self.device_reset_rate
+            + self.node_crash_rate
+            + self.job_crash_rate
+        )
+
+    @classmethod
+    def chaos(cls, rate: float, **overrides) -> "FaultProfile":
+        """The standard mix at ``rate`` total events per 1000 s.
+
+        Resets and transient job crashes dominate (they dominate real
+        Phi deployments); permanent card loss and node crashes are the
+        tail. ``overrides`` replace any field afterwards.
+        """
+        if rate < 0:
+            raise ValueError("rate must be non-negative")
+        profile = cls(
+            device_fail_rate=0.10 * rate,
+            device_reset_rate=0.45 * rate,
+            node_crash_rate=0.10 * rate,
+            job_crash_rate=0.35 * rate,
+        )
+        return replace(profile, **overrides) if overrides else profile
+
+
+@dataclass(frozen=True)
+class FaultEvent:
+    """One scheduled injection: when, what, and a target-selection draw."""
+
+    time: float
+    kind: str
+    #: Uniform draw in [0, 1); the injector maps it onto the eligible
+    #: target list at injection time.
+    pick: float
+    seq: int
+
+
+@dataclass(frozen=True)
+class FaultSchedule:
+    """The deterministic realisation of a profile under one seed."""
+
+    profile: FaultProfile
+    seed: int
+    events: tuple[FaultEvent, ...]
+
+    @classmethod
+    def generate(cls, profile: FaultProfile, seed: int) -> "FaultSchedule":
+        """Draw the event list; same (profile, seed) → identical output."""
+        rng = random.Random(seed)
+        raw: list[tuple[float, str, float]] = []
+        rates = (
+            (DEVICE_FAIL, profile.device_fail_rate),
+            (DEVICE_RESET, profile.device_reset_rate),
+            (NODE_CRASH, profile.node_crash_rate),
+            (JOB_CRASH, profile.job_crash_rate),
+        )
+        for kind, rate in rates:
+            if rate <= 0:
+                continue
+            t = 0.0
+            while True:
+                t += rng.expovariate(rate / 1000.0)
+                if t > profile.horizon_s:
+                    break
+                raw.append((t, kind, rng.random()))
+        raw.sort(key=lambda e: (e[0], KINDS.index(e[1])))
+        events = tuple(
+            FaultEvent(time=t, kind=kind, pick=pick, seq=i)
+            for i, (t, kind, pick) in enumerate(raw)
+        )
+        return cls(profile=profile, seed=seed, events=events)
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+    def __repr__(self) -> str:
+        return (
+            f"<FaultSchedule seed={self.seed} events={len(self.events)} "
+            f"horizon={self.profile.horizon_s:g}s>"
+        )

@@ -2,10 +2,14 @@
 
 from .analysis import (
     BalanceStats,
+    INFRA_STATUSES,
+    JobOutcomeStats,
+    KILL_STATUSES,
     OffloadStats,
     QueueStats,
     balance_stats,
     concurrency_profile,
+    job_outcomes,
     offload_stats,
     queue_stats,
 )
@@ -13,18 +17,29 @@ from .footprint import FootprintResult, find_footprint, footprint_from_curve
 from .replication import Replicated, compare, replicate
 from .makespan import MakespanStats, makespan_of, summarize
 from .timeline import cluster_timeline, device_timeline, legend
-from .report import ascii_bar_chart, format_series, format_table, percent_reduction
+from .report import (
+    ascii_bar_chart,
+    format_outcome_counts,
+    format_series,
+    format_table,
+    percent_reduction,
+)
 from .utilization import UtilizationSummary, cluster_utilization, mean_busy_cores
 
 __all__ = [
     "BalanceStats",
     "FootprintResult",
+    "INFRA_STATUSES",
+    "JobOutcomeStats",
+    "KILL_STATUSES",
     "OffloadStats",
     "QueueStats",
     "Replicated",
     "balance_stats",
     "compare",
     "concurrency_profile",
+    "format_outcome_counts",
+    "job_outcomes",
     "offload_stats",
     "queue_stats",
     "replicate",

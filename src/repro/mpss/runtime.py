@@ -69,8 +69,13 @@ class JobRunResult:
     job_id: str
     start: float
     end: float
-    status: str  # "completed" | "oom-killed" | "memory-limit"
+    #: "completed" | "oom-killed" | "memory-limit", or an infrastructure
+    #: status ("device-failed" | "node-lost" | "job-crashed") synthesized
+    #: by the startd when a fault kills the run.
+    status: str
     offloads_run: int
+    #: Which run this was: 0 for the first try, >0 after requeues.
+    attempt: int = 0
 
     @property
     def wall_time(self) -> float:
@@ -152,6 +157,7 @@ class OffloadRuntime:
         )
         holding_threads = 0
         pending_grant = None
+        grant_threads = 0
         try:
             for phase in profile.phases:
                 if isinstance(phase, HostPhase):
@@ -172,6 +178,7 @@ class OffloadRuntime:
                 # COSMIC admission: wait for device threads.
                 if self.gate is not None:
                     pending_grant = self.gate.acquire(phase.threads)
+                    grant_threads = phase.threads
                     yield pending_grant
                     pending_grant = None
                     holding_threads = phase.threads
@@ -200,10 +207,15 @@ class OffloadRuntime:
         finally:
             # A kill may land while the job queues for the gate: withdraw
             # the pending grant so the gate never hands threads to a corpse.
-            if pending_grant is not None and not pending_grant.triggered:
-                cancel = getattr(pending_grant, "cancel", None)
-                if cancel is not None:
-                    cancel()
+            # If the grant already triggered but the kill won the race to
+            # resume us, the threads were deducted and must go back.
+            if pending_grant is not None:
+                if not pending_grant.triggered:
+                    cancel = getattr(pending_grant, "cancel", None)
+                    if cancel is not None:
+                        cancel()
+                elif holding_threads == 0 and self.gate is not None:
+                    self.gate.release(grant_threads)
             coi.destroy()
 
         result = JobRunResult(

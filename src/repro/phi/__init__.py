@@ -14,7 +14,7 @@ from .contention import (
     UnmanagedContention,
     slowdown,
 )
-from .device import OffloadRecord, OOMKilled, XeonPhi
+from .device import DEVICE_STATES, DeviceFailed, OffloadRecord, OOMKilled, XeonPhi
 from .micinfo import MicInfo, format_report, query_device, query_node
 from .spec import PAPER_SPEC, XeonPhiSpec
 from .telemetry import DeviceTelemetry, StepSeries
@@ -23,6 +23,8 @@ __all__ = [
     "AffinitizedContention",
     "CALIBRATED_SHARING_PENALTY",
     "ContentionModel",
+    "DEVICE_STATES",
+    "DeviceFailed",
     "DeviceTelemetry",
     "MicInfo",
     "OffloadRecord",

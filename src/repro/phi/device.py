@@ -36,6 +36,26 @@ class OOMKilled(Exception):
         self.device = device
 
 
+#: Device lifecycle states: ``"healthy"`` serves offloads, ``"draining"``
+#: finishes in-flight work but admits no new process, ``"failed"`` is down.
+DEVICE_STATES = ("healthy", "draining", "failed")
+
+
+class DeviceFailed(Exception):
+    """The coprocessor is down (card hang, MPSS reset, hardware loss).
+
+    Carries ``fault_status`` so the Condor layer classifies it as an
+    infrastructure failure (retryable) without importing this module —
+    see :mod:`repro.faults.errors` for the attribute protocol.
+    """
+
+    fault_status = "device-failed"
+
+    def __init__(self, device_name: str) -> None:
+        super().__init__(f"device {device_name} failed")
+        self.device_name = device_name
+
+
 class _RateChange:
     """Interrupt cause used when an offload's service rate changes."""
 
@@ -113,6 +133,7 @@ class XeonPhi:
         self.rng = rng
         self.telemetry = DeviceTelemetry()
         self.offload_log: list[OffloadRecord] = []
+        self.state = "healthy"
 
         self._tasks: list[_Task] = []
         self._resident: dict[Hashable, float] = {}
@@ -147,6 +168,39 @@ class XeonPhi:
         """Resident memory of one process (0 if absent)."""
         return self._resident.get(owner, 0.0)
 
+    # -- lifecycle (failure / recovery) --------------------------------------
+
+    def fail(self, cause: Optional[Any] = None) -> Any:
+        """Take the card down, interrupting every in-flight offload.
+
+        ``cause`` becomes the interrupt cause delivered to the offload
+        processes (defaults to a :class:`DeviceFailed` for this card) and
+        is returned so the caller can reuse it for jobs that are matched
+        to the card but not currently inside an offload.
+        """
+        cause = cause if cause is not None else DeviceFailed(self.name)
+        if self.state == "failed":
+            return cause
+        self.state = "failed"
+        self.telemetry.device_failures += 1
+        for task in list(self._tasks):
+            if task.proc.is_alive and task.proc is not self.env.active_process:
+                task.proc.interrupt(cause)
+        return cause
+
+    def restore(self) -> None:
+        """Bring the card back (post-reset / node reboot)."""
+        if self.state == "healthy":
+            return
+        self.state = "healthy"
+        self.telemetry.device_restores += 1
+
+    def drain(self) -> None:
+        """Stop admitting new device processes; in-flight work finishes."""
+        if self.state == "failed":
+            raise RuntimeError(f"cannot drain failed device {self.name}")
+        self.state = "draining"
+
     # -- process & memory management ----------------------------------------
 
     def register_process(
@@ -156,6 +210,8 @@ class XeonPhi:
 
         ``on_kill`` is invoked if the OOM killer selects the process.
         """
+        if self.state != "healthy":
+            raise DeviceFailed(self.name)
         if owner in self._resident:
             raise ValueError(f"process {owner!r} already registered")
         self._iseq += 1
@@ -247,6 +303,8 @@ class XeonPhi:
             raise ValueError("threads must be positive")
         if work < 0:
             raise ValueError("work must be non-negative")
+        if self.state == "failed":
+            raise DeviceFailed(self.name)
         proc = env.active_process
         if proc is None:
             raise RuntimeError("run_offload must be called from a process")

@@ -81,6 +81,10 @@ class DeviceTelemetry:
     resident_memory_mb: StepSeries = field(default_factory=StepSeries)
     #: Count of OOM-killer victims on this device.
     oom_kills: int = 0
+    #: Times the device went down (card hang, reset, node crash).
+    device_failures: int = 0
+    #: Times the device came back (post-reset / node reboot).
+    device_restores: int = 0
 
     def core_utilization(self, total_cores: int, start: float, end: float) -> float:
         """Fraction of core-time busy over ``[start, end]`` (paper's metric)."""

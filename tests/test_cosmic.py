@@ -190,9 +190,9 @@ class TestCoreSetAllocator:
 
 
 class TestEnforcer:
-    def _job(self, declared):
+    def _job(self, declared, job_id="j"):
         return JobProfile(
-            job_id="j",
+            job_id=job_id,
             app="t",
             phases=(HostPhase(1.0), OffloadPhase(work=1, threads=6, memory_mb=100)),
             declared_memory_mb=declared,
@@ -207,6 +207,19 @@ class TestEnforcer:
         with pytest.raises(MemoryLimitExceeded):
             enforcer.check(self._job(1000), 1500)
         assert enforcer.kills == ["j"]
+
+    def test_kills_are_idempotent_per_job(self):
+        # A job can trip the limit at several offload phases before the
+        # kill unwinds; the ledger must count the job once, not once per
+        # check, while still raising every time.
+        enforcer = DeclaredMemoryEnforcer()
+        for _ in range(3):
+            with pytest.raises(MemoryLimitExceeded):
+                enforcer.check(self._job(1000), 1500)
+        assert enforcer.kills == ["j"]
+        with pytest.raises(MemoryLimitExceeded):
+            enforcer.check(self._job(1000, job_id="k"), 1500)
+        assert enforcer.kills == ["j", "k"]
 
     def test_tolerance(self):
         enforcer = DeclaredMemoryEnforcer(tolerance=0.10)

@@ -25,8 +25,8 @@ class TestRegistry:
         expected = {
             "motivation", "table2", "table3", "fig7", "fig8", "fig9",
             "fig10", "ablation-value", "ablation-knapsack", "ablation-cycle",
-            "ablation-placement", "ext-capacity", "ext-multidevice",
-            "ext-oversubscription", "ext-replication",
+            "ablation-placement", "ext-capacity", "ext-faults",
+            "ext-multidevice", "ext-oversubscription", "ext-replication",
         }
         assert set(EXPERIMENTS) == expected
 

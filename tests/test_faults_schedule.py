@@ -1,0 +1,103 @@
+"""Unit tests for fault profiles and deterministic schedule generation."""
+
+import pytest
+
+from repro.faults import (
+    DEVICE_FAIL,
+    DEVICE_RESET,
+    JOB_CRASH,
+    KINDS,
+    NODE_CRASH,
+    FaultProfile,
+    FaultSchedule,
+    derive_fault_seed,
+)
+
+
+class TestFaultProfile:
+    def test_null_by_default(self):
+        profile = FaultProfile()
+        assert profile.is_null
+        assert profile.total_rate == 0.0
+
+    def test_chaos_splits_total_rate(self):
+        profile = FaultProfile.chaos(2.0)
+        assert not profile.is_null
+        assert profile.total_rate == pytest.approx(2.0)
+        # Resets and transient crashes dominate; permanent losses are rare.
+        assert profile.device_reset_rate > profile.device_fail_rate
+        assert profile.job_crash_rate > profile.node_crash_rate
+
+    def test_chaos_zero_is_null(self):
+        assert FaultProfile.chaos(0.0).is_null
+
+    def test_chaos_overrides(self):
+        profile = FaultProfile.chaos(1.0, reset_downtime_s=5.0)
+        assert profile.reset_downtime_s == 5.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            FaultProfile(device_fail_rate=-1.0)
+        with pytest.raises(ValueError):
+            FaultProfile(reset_downtime_s=-1.0)
+        with pytest.raises(ValueError):
+            FaultProfile(horizon_s=0.0)
+        with pytest.raises(ValueError):
+            FaultProfile(heartbeat_interval_s=0.0)
+
+
+class TestDeriveFaultSeed:
+    def test_deterministic(self):
+        assert derive_fault_seed(42) == derive_fault_seed(42)
+
+    def test_distinct_per_workload_seed(self):
+        seeds = {derive_fault_seed(s) for s in range(50)}
+        assert len(seeds) == 50
+
+    def test_differs_from_workload_seed(self):
+        # The fault stream must not replay the workload generator's draws.
+        assert derive_fault_seed(42) != 42
+
+
+class TestFaultSchedule:
+    def test_generate_is_deterministic(self):
+        profile = FaultProfile.chaos(3.0)
+        a = FaultSchedule.generate(profile, 7)
+        b = FaultSchedule.generate(profile, 7)
+        assert a.events == b.events
+
+    def test_different_seeds_differ(self):
+        profile = FaultProfile.chaos(3.0)
+        a = FaultSchedule.generate(profile, 7)
+        b = FaultSchedule.generate(profile, 8)
+        assert a.events != b.events
+
+    def test_null_profile_is_empty(self):
+        schedule = FaultSchedule.generate(FaultProfile(), 7)
+        assert len(schedule) == 0
+
+    def test_events_sorted_and_sequenced(self):
+        schedule = FaultSchedule.generate(FaultProfile.chaos(4.0), 11)
+        times = [e.time for e in schedule.events]
+        assert times == sorted(times)
+        assert [e.seq for e in schedule.events] == list(range(len(times)))
+
+    def test_events_respect_horizon(self):
+        profile = FaultProfile.chaos(4.0, horizon_s=1000.0)
+        schedule = FaultSchedule.generate(profile, 11)
+        assert all(0.0 < e.time <= 1000.0 for e in schedule.events)
+        assert all(0.0 <= e.pick < 1.0 for e in schedule.events)
+
+    def test_rate_scales_event_count(self):
+        low = FaultSchedule.generate(FaultProfile.chaos(0.5), 3)
+        high = FaultSchedule.generate(FaultProfile.chaos(8.0), 3)
+        assert len(high) > len(low)
+
+    def test_single_kind_profile(self):
+        profile = FaultProfile(job_crash_rate=2.0)
+        schedule = FaultSchedule.generate(profile, 5)
+        assert len(schedule) > 0
+        assert all(e.kind == JOB_CRASH for e in schedule.events)
+
+    def test_kind_constants_registered(self):
+        assert KINDS == (DEVICE_FAIL, DEVICE_RESET, NODE_CRASH, JOB_CRASH)

@@ -1,0 +1,154 @@
+"""Unit tests for RetryPolicy and the schedd's requeue/backoff path."""
+
+import pytest
+
+from repro.condor import (
+    BACKOFF,
+    FAILED,
+    IDLE,
+    INFRASTRUCTURE_STATUSES,
+    RetryPolicy,
+    Schedd,
+)
+from repro.mpss import JobRunResult
+from repro.sim import Environment
+from repro.workloads import generate_table1_jobs
+
+
+@pytest.fixture
+def env():
+    return Environment()
+
+
+def _failed_result(job_id, status="device-failed", attempt=0):
+    return JobRunResult(
+        job_id=job_id, start=0.0, end=1.0, status=status,
+        offloads_run=0, attempt=attempt,
+    )
+
+
+class TestRetryPolicy:
+    def test_defaults_bound_retries(self):
+        policy = RetryPolicy()
+        assert policy.should_retry("device-failed", 1)
+        assert policy.should_retry("device-failed", policy.max_retries)
+        assert not policy.should_retry("device-failed", policy.max_retries + 1)
+
+    def test_container_kills_never_retry(self):
+        policy = RetryPolicy()
+        assert not policy.should_retry("memory-limit", 1)
+        assert not policy.should_retry("oom-killed", 1)
+        assert not policy.should_retry("completed", 1)
+
+    def test_all_infrastructure_statuses_retry(self):
+        policy = RetryPolicy()
+        for status in INFRASTRUCTURE_STATUSES:
+            assert policy.should_retry(status, 1)
+
+    def test_backoff_is_exponential_and_capped(self):
+        policy = RetryPolicy(
+            base_backoff_s=10.0, backoff_factor=2.0, max_backoff_s=35.0
+        )
+        assert policy.backoff(1) == 10.0
+        assert policy.backoff(2) == 20.0
+        assert policy.backoff(3) == 35.0  # capped, not 40
+        assert policy.backoff(10) == 35.0
+
+    def test_zero_retries_allowed(self):
+        policy = RetryPolicy(max_retries=0)
+        assert not policy.should_retry("device-failed", 1)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            RetryPolicy(max_retries=-1)
+        with pytest.raises(ValueError):
+            RetryPolicy(backoff_factor=0.5)
+        with pytest.raises(ValueError):
+            RetryPolicy(base_backoff_s=-1.0)
+        with pytest.raises(ValueError):
+            RetryPolicy().backoff(0)
+
+
+class TestScheddFailurePath:
+    def _submit_one(self, env, **policy_kwargs):
+        schedd = Schedd(env, retry_policy=RetryPolicy(**policy_kwargs))
+        profile = generate_table1_jobs(1, seed=3)[0]
+        record = schedd.submit(profile)
+        return schedd, record
+
+    def test_infrastructure_failure_requeues_after_backoff(self, env):
+        schedd, record = self._submit_one(env, base_backoff_s=30.0)
+        schedd.mark_running(record.job_id, "node0", 0)
+        schedd.mark_failed(record.job_id, _failed_result(record.job_id))
+        assert record.status == BACKOFF
+        assert record.attempts == 1
+        assert record.matched_node is None
+        env.run(until=29.0)
+        assert record.status == BACKOFF
+        env.run(until=31.0)
+        assert record.status == IDLE
+        assert schedd.requeues == 1
+
+    def test_requeue_restores_submit_requirements(self, env):
+        schedd, record = self._submit_one(env)
+        original = repr(record.ad.get_expr("Requirements"))
+        schedd.qedit(record.job_id, "Requirements", "false")
+        schedd.mark_running(record.job_id, "node0", 0)
+        schedd.mark_failed(record.job_id, _failed_result(record.job_id))
+        env.run(until=1000.0)
+        assert record.status == IDLE
+        assert repr(record.ad.get_expr("Requirements")) == original
+
+    def test_retries_exhausted_is_terminal(self, env):
+        schedd, record = self._submit_one(env, max_retries=2, base_backoff_s=1.0)
+        for attempt in range(3):
+            env.run(until=env.now + 100.0)
+            assert record.status == IDLE
+            schedd.mark_running(record.job_id, "node0", 0)
+            schedd.mark_failed(
+                record.job_id, _failed_result(record.job_id, attempt=attempt)
+            )
+        assert record.status == FAILED
+        assert record.attempts == 3
+        assert record.result is not None
+        assert schedd.terminal_failures == 1
+        assert len(record.failures) == 3
+
+    def test_memory_limit_rejected_by_mark_failed_policy(self, env):
+        # Kill-by-container is not retryable: it terminally fails even on
+        # the first attempt (callers route kills through mark_completed;
+        # this guards the policy if one reaches mark_failed anyway).
+        schedd, record = self._submit_one(env)
+        schedd.mark_running(record.job_id, "node0", 0)
+        schedd.mark_failed(
+            record.job_id, _failed_result(record.job_id, status="memory-limit")
+        )
+        assert record.status == FAILED
+
+    def test_terminal_failure_triggers_all_done(self, env):
+        schedd, record = self._submit_one(env, max_retries=0)
+        done = schedd.all_done()
+        schedd.mark_running(record.job_id, "node0", 0)
+        schedd.mark_failed(record.job_id, _failed_result(record.job_id))
+        env.run()
+        assert done.triggered
+        assert schedd.unfinished_jobs == 0
+
+    def test_failure_and_requeue_listeners_fire(self, env):
+        schedd, record = self._submit_one(env, base_backoff_s=5.0)
+        failures = []
+        requeues = []
+        schedd.failure_listeners.append(
+            lambda rec, res, retry: failures.append((rec.job_id, retry))
+        )
+        schedd.requeue_listeners.append(lambda rec: requeues.append(rec.job_id))
+        schedd.mark_running(record.job_id, "node0", 0)
+        schedd.mark_failed(record.job_id, _failed_result(record.job_id))
+        assert failures == [(record.job_id, True)]
+        env.run()
+        assert requeues == [record.job_id]
+
+    def test_mark_failed_requires_running(self, env):
+        schedd, record = self._submit_one(env)
+        with pytest.raises(ValueError):
+            schedd.mark_failed(record.job_id, _failed_result(record.job_id))
