@@ -189,12 +189,23 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         help="also write each rendered artifact under benchmarks/results/ "
         "(honors REPRO_RESULTS_DIR)",
     )
+    parser.add_argument(
+        "--profile", action="store_true",
+        help="instrument the simulation kernel and print a per-event-kind "
+        "breakdown after the run (implies --jobs 1 and --no-cache so the "
+        "counters cover every cell in-process)",
+    )
     args = parser.parse_args(argv)
 
     if args.jobs is not None and args.jobs < 1:
         parser.error("--jobs must be >= 1")
     if args.fault_rates and any(rate < 0 for rate in args.fault_rates):
         parser.error("--fault-rate must be non-negative")
+    if args.profile:
+        # Worker processes would each profile privately and cache hits
+        # would skip simulation entirely; neither yields usable counters.
+        args.jobs = 1
+        args.no_cache = True
 
     cache: Optional[ResultCache] = None
     if args.clear_cache:
@@ -217,8 +228,22 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         )
         plans.append((name, kwargs, _grid_for(name, kwargs)))
 
+    profiler = None
+    if args.profile:
+        from .sim import profile as sim_profile
+
+        profiler = sim_profile.activate()
+
     started = time.perf_counter()
-    outcomes = runner.map_tasks([task for _, _, grid in plans for task in grid])
+    try:
+        outcomes = runner.map_tasks(
+            [task for _, _, grid in plans for task in grid]
+        )
+    finally:
+        if profiler is not None:
+            from .sim import profile as sim_profile
+
+            sim_profile.deactivate()
     wall = time.perf_counter() - started
 
     offset = 0
@@ -244,6 +269,9 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         f"({runner.computed} computed, {runner.served_from_cache} cached), "
         f"{runner.workers} worker(s)]"
     )
+    if profiler is not None:
+        print()
+        print(profiler.render())
     return 0
 
 

@@ -123,6 +123,16 @@ def job_ad(
     return ad
 
 
+#: Memoized machine ads keyed by snapshot contents. The negotiator
+#: rebuilds a node's ad after every deduction, but deductions cycle
+#: through a small set of states (free slots x free declared memory), so
+#: most rebuilds re-derive an ad already built this run. Machine ads are
+#: never mutated after construction (matchmaking only evaluates them),
+#: so sharing one ad between identical snapshots is safe.
+_MACHINE_AD_CACHE: dict[tuple, ClassAd] = {}
+_MACHINE_AD_CACHE_LIMIT = 65536
+
+
 def machine_ad(snapshot: MachineSnapshot) -> ClassAd:
     """Build a node's advertised ClassAd from a negotiation snapshot.
 
@@ -130,6 +140,25 @@ def machine_ad(snapshot: MachineSnapshot) -> ClassAd:
     and from the advertised memory, so matchmaking never routes a job to
     a node whose only cards are down.
     """
+    key = (
+        snapshot.node,
+        snapshot.total_slots,
+        snapshot.free_slots,
+        tuple(
+            (
+                d.index,
+                d.memory_mb,
+                d.free_declared_mb,
+                d.resident_jobs,
+                d.claimed_exclusive,
+                d.failed,
+            )
+            for d in snapshot.devices
+        ),
+    )
+    cached = _MACHINE_AD_CACHE.get(key)
+    if cached is not None:
+        return cached
     usable = [d for d in snapshot.devices if not d.failed]
     memory = max((d.memory_mb for d in usable), default=0.0)
     free_declared = max((d.free_declared_mb for d in usable), default=0.0)
@@ -147,4 +176,7 @@ def machine_ad(snapshot: MachineSnapshot) -> ClassAd:
     )
     # Machines accept any job whose declared memory fits one card.
     ad.set_expr("Requirements", "TARGET.RequestPhiMemory <= MY.PhiMemory")
+    if len(_MACHINE_AD_CACHE) >= _MACHINE_AD_CACHE_LIMIT:
+        _MACHINE_AD_CACHE.clear()
+    _MACHINE_AD_CACHE[key] = ad
     return ad

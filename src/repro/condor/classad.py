@@ -552,9 +552,27 @@ def _unescape(body: str) -> str:
     return body.replace('\\"', '"').replace("\\\\", "\\")
 
 
+#: Memoized ASTs keyed by source text. Expression trees are immutable
+#: after parsing (``ClassAd.copy`` already shares them between ads), so
+#: one AST can safely back every occurrence of the same source string —
+#: and scheduler-driven qedit traffic repeats a handful of strings
+#: (parking expressions, per-node pins) tens of thousands of times.
+_PARSE_CACHE: dict[str, Expr] = {}
+#: Cache cap: qedit strings are drawn from a small fixed vocabulary, so
+#: this should never trip; it bounds memory if someone parses unbounded
+#: distinct inputs.
+_PARSE_CACHE_LIMIT = 4096
+
+
 def parse(text: str) -> Expr:
-    """Parse a ClassAd expression string into an AST."""
-    return _Parser(tokenize(text)).parse()
+    """Parse a ClassAd expression string into an AST (memoized)."""
+    expr = _PARSE_CACHE.get(text)
+    if expr is None:
+        expr = _Parser(tokenize(text)).parse()
+        if len(_PARSE_CACHE) >= _PARSE_CACHE_LIMIT:
+            _PARSE_CACHE.clear()
+        _PARSE_CACHE[text] = expr
+    return expr
 
 
 # ---------------------------------------------------------------------------

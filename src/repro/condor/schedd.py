@@ -11,6 +11,7 @@ overhead on unfavourable distributions.
 
 from __future__ import annotations
 
+import operator
 from dataclasses import dataclass, field
 from typing import Callable, Optional
 
@@ -36,6 +37,9 @@ FAILED = "Failed"
 INFRASTRUCTURE_STATUSES = frozenset(
     {DEVICE_FAILED, NODE_LOST, JOB_CRASHED, "infrastructure"}
 )
+
+#: Sort key for FIFO queue listings (precomputed at submission).
+_FIFO_KEY = operator.attrgetter("fifo_key")
 
 
 @dataclass(frozen=True)
@@ -96,6 +100,9 @@ class JobRecord:
     #: The submit-time Requirements expression, restored on requeue so a
     #: retried job sheds any pin/park the previous attempt carried.
     base_requirements: Optional[Expr] = None
+    #: FIFO examination key, fixed at submission: (submit_time, seq).
+    #: Cached so queue listings sort without re-deriving tuples per call.
+    fifo_key: tuple = (0.0, 0)
 
     @property
     def is_pending(self) -> bool:
@@ -134,6 +141,10 @@ class Schedd:
         self.terminal_failures = 0
         #: Event that triggers once every submitted job has left the queue.
         self._all_done: Optional[Event] = None
+        # Incremental count of jobs in a non-terminal state. Previously
+        # every completion re-scanned the whole record table (O(jobs) per
+        # completion, O(jobs^2) per run); transitions keep it exact.
+        self._unfinished = 0
 
     # -- submission -------------------------------------------------------
 
@@ -155,7 +166,9 @@ class Schedd:
             completion=self.env.event(),
         )
         record.base_requirements = record.ad.get_expr("Requirements")
+        record.fifo_key = (profile.submit_time, record.seq)
         self._records[profile.job_id] = record
+        self._unfinished += 1
         for listener in list(self.submit_listeners):
             listener(record)
         return record
@@ -177,13 +190,13 @@ class Schedd:
     def all_records(self) -> list[JobRecord]:
         """Every job ever submitted, in submission order."""
         records = list(self._records.values())
-        records.sort(key=lambda r: (r.profile.submit_time, r.seq))
+        records.sort(key=_FIFO_KEY)
         return records
 
     def pending(self) -> list[JobRecord]:
         """Idle jobs in FIFO order (the negotiator's examination order)."""
         idle = [r for r in self._records.values() if r.status == IDLE]
-        idle.sort(key=lambda r: (r.profile.submit_time, r.seq))
+        idle.sort(key=_FIFO_KEY)
         return idle
 
     def running(self) -> list[JobRecord]:
@@ -202,11 +215,7 @@ class Schedd:
 
     @property
     def unfinished_jobs(self) -> int:
-        return sum(
-            1
-            for r in self._records.values()
-            if r.status in (IDLE, RUNNING, BACKOFF)
-        )
+        return self._unfinished
 
     # -- qedit -------------------------------------------------------------
 
@@ -242,6 +251,7 @@ class Schedd:
         record.status = COMPLETED
         record.result = result
         record.ad["JobStatus"] = COMPLETED
+        self._unfinished -= 1
         assert record.completion is not None
         record.completion.succeed(result)
         for listener in list(self.completion_listeners):
@@ -277,6 +287,7 @@ class Schedd:
             record.status = FAILED
             record.result = result
             record.ad["JobStatus"] = FAILED
+            self._unfinished -= 1
             self.terminal_failures += 1
             assert record.completion is not None
             # succeed (not fail): the result object carries the failure

@@ -120,6 +120,14 @@ def _consistent_grid(
             else:
                 weights.append(W + 1)
         return W, weights
+    if len(raw) >= 32:
+        # Vectorized quantization for large queues. np.ceil on float64
+        # performs the identical IEEE operation to math.ceil, so the
+        # result matches the scalar path bit for bit.
+        arr = np.asarray(raw, dtype=float)
+        q = np.ceil(arr / quantum - 1e-12).astype(np.int64)
+        q[(q > W) & (arr <= capacity)] = W
+        return W, q.tolist()
     for w in raw:
         q = _quantize(w, quantum)
         if q > W and w <= capacity:
@@ -149,6 +157,31 @@ def _dp_values_1d(
 ) -> np.ndarray:
     """Best value of items[lo:hi] at every capacity 0..W ("at most" semantics)."""
     dp = np.zeros(W + 1)
+    if hi - lo == 1:
+        # Single item: the DP profile is a step function — fill directly
+        # instead of paying the generic add/maximum pair.
+        w, v = weights[lo], values[lo]
+        if v > 0 and w <= W:
+            dp[w:] = v
+        return dp
+    if hi - lo == 2:
+        # Two items: three plateau fills reproduce the generic loop's
+        # cell values exactly (va + vb dominates both single values, and
+        # the sums are computed by the same float additions).
+        wa, va = weights[lo], values[lo]
+        wb, vb = weights[lo + 1], values[lo + 1]
+        fa = va > 0 and wa <= W
+        fb = vb > 0 and wb <= W
+        if fa:
+            dp[wa:] = va
+        if fb:
+            if fa:
+                np.maximum(dp[wb:], vb, out=dp[wb:])
+                if wa + wb <= W:
+                    dp[wa + wb :] = va + vb
+            else:
+                dp[wb:] = vb
+        return dp
     for i in range(lo, hi):
         w, v = weights[i], values[i]
         if w > W or v <= 0:
@@ -173,6 +206,27 @@ def _dp_values_2d(
 ) -> np.ndarray:
     """2-D variant: second dimension is item count or quantized threads."""
     dp = np.zeros((W + 1, K + 1))
+    if hi - lo == 1:
+        w, k, v = weights[lo], costs[lo], values[lo]
+        if v > 0 and w <= W and k <= K:
+            dp[w:, k:] = v
+        return dp
+    if hi - lo == 2:
+        # Two-item plateau fills; see _dp_values_1d.
+        wa, ka, va = weights[lo], costs[lo], values[lo]
+        wb, kb, vb = weights[lo + 1], costs[lo + 1], values[lo + 1]
+        fa = va > 0 and wa <= W and ka <= K
+        fb = vb > 0 and wb <= W and kb <= K
+        if fa:
+            dp[wa:, ka:] = va
+        if fb:
+            if fa:
+                np.maximum(dp[wb:, kb:], vb, out=dp[wb:, kb:])
+                if wa + wb <= W and ka + kb <= K:
+                    dp[wa + wb :, ka + kb :] = va + vb
+            else:
+                dp[wb:, kb:] = vb
+        return dp
     for i in range(lo, hi):
         w, k, v = weights[i], costs[i], values[i]
         if w > W or k > K or v <= 0:
@@ -187,58 +241,247 @@ def _dp_values_2d(
 
 
 # -- divide-and-conquer reconstruction ---------------------------------------
+#
+# All-fit shortcut. At any recursion node, if the positive-value items in
+# [lo, hi) *collectively* fit the residual capacity, the optimal subset
+# is exactly those items (dropping one strictly loses its value; adding
+# non-positive items never gains), and that is also precisely what the
+# divide-and-conquer would return: the value profile over the positive
+# items of a half only reaches its full-value plateau at capacities >=
+# the half's total positive weight, so the first-index argmax split hands
+# each half enough capacity for *all* its positive items and the
+# induction closes at the leaves. Unfittable items carry quantized
+# weight W + 1, which keeps any window containing one above the residual
+# capacity — the shortcut can never admit them. Prefix sums over the
+# positive-value items make the check O(1) per node.
+
+
+def _positive_prefix(weights: Sequence[int], values: Sequence[float]) -> list[int]:
+    """Prefix sums of quantized weight over positive-value items only."""
+    prefix = [0] * (len(weights) + 1)
+    total = 0
+    for i, (w, v) in enumerate(zip(weights, values)):
+        if v > 0:
+            total += w
+        prefix[i + 1] = total
+    return prefix
+
+
+def _min_positive(weights: Sequence[int], values: Sequence[float], default: int) -> int:
+    """Smallest quantized weight among positive-value items.
+
+    ``default`` (capacity + 1) is returned when no item has positive
+    value, which makes the caller's none-fits prune always fire — the
+    optimal subset of a window with no positive items is empty.
+    """
+    best = default
+    for w, v in zip(weights, values):
+        if v > 0 and w < best:
+            best = w
+    return best
 
 
 def _backtrack_1d(
     weights: Sequence[int],
     values: Sequence[float],
+    prefix_w: Sequence[int],
+    minw: int,
     lo: int,
     hi: int,
     W: int,
     chosen: list[int],
 ) -> None:
     """Append the optimal subset of items[lo:hi] at capacity W to ``chosen``."""
-    if lo >= hi or W < 0:
+    if lo >= hi or W < minw:
+        # minw is the cheapest positive item anywhere, so no positive
+        # item in this window can fit either — the subtree is empty.
+        return
+    if prefix_w[hi] - prefix_w[lo] <= W:
+        chosen.extend(i for i in range(lo, hi) if values[i] > 0)
         return
     if hi - lo == 1:
         if values[lo] > 0 and weights[lo] <= W:
             chosen.append(lo)
+        return
+    if hi - lo == 2:
+        # Closed form for a two-item node that failed the all-fit check
+        # (so both together never fit): take the lone fitting item, or
+        # the more valuable of the two; the argmax's first-index rule
+        # resolves an exact value tie in favour of the *second* item
+        # (index (0, …) wins the flat argmax). Mirrors the D&C exactly.
+        a, b = lo, lo + 1
+        fa = values[a] > 0 and weights[a] <= W
+        fb = values[b] > 0 and weights[b] <= W
+        if fa and (not fb or values[a] > values[b]):
+            chosen.append(a)
+        elif fb:
+            chosen.append(b)
+        return
+    if hi - lo == 3:
+        # Three-item node: find the D&C capacity split without arrays.
+        # The combined profile left(m) + right(W - m) is piecewise
+        # constant: the single-item left profile steps up at m = wa, and
+        # the pair right profile steps down just past m = W - w for each
+        # right-subset weight w. Every constant run starts at one of
+        # those breakpoints, so evaluating only the breakpoints (in
+        # ascending order) yields both the maximum and the argmax's
+        # first flat index — exactly what the array argmax returns.
+        wa, va = weights[lo], values[lo]
+        wb, vb = weights[lo + 1], values[lo + 1]
+        wc, vc = weights[lo + 2], values[lo + 2]
+        pa = va > 0
+        pb = vb > 0
+        pc = vc > 0
+        pair = vb + vc
+
+        def _combined(m: int) -> float:
+            cap = W - m
+            best = 0.0
+            if pb and wb <= cap:
+                best = vb
+            if pc and wc <= cap and vc > best:
+                best = vc
+            if pb and pc and wb + wc <= cap and pair > best:
+                best = pair
+            return va + best if (pa and wa <= m) else best
+
+        cps = sorted(
+            {
+                p
+                for p in (0, wa, W - wb + 1, W - wc + 1, W - wb - wc + 1)
+                if 0 <= p <= W
+            }
+        )
+        vals = [_combined(m) for m in cps]
+        split = cps[vals.index(max(vals))]
+        _backtrack_1d(weights, values, prefix_w, minw, lo, lo + 1, split, chosen)
+        _backtrack_1d(
+            weights, values, prefix_w, minw, lo + 1, hi, W - split, chosen
+        )
         return
     mid = (lo + hi) // 2
     left = _dp_values_1d(weights, values, lo, mid, W)
     right = _dp_values_1d(weights, values, mid, hi, W)
     # Optimal split of the capacity between the halves ("at most"
     # semantics makes both profiles monotone, so one pass suffices).
-    split = int(np.argmax(left + right[::-1]))
-    _backtrack_1d(weights, values, lo, mid, split, chosen)
-    _backtrack_1d(weights, values, mid, hi, W - split, chosen)
+    left += right[::-1]
+    split = int(left.argmax())
+    _backtrack_1d(weights, values, prefix_w, minw, lo, mid, split, chosen)
+    _backtrack_1d(weights, values, prefix_w, minw, mid, hi, W - split, chosen)
 
 
 def _backtrack_2d(
     weights: Sequence[int],
     costs: Sequence[int],
     values: Sequence[float],
+    prefix_w: Sequence[int],
+    prefix_k: Sequence[int],
+    minw: int,
+    mink: int,
     lo: int,
     hi: int,
     W: int,
     K: int,
     chosen: list[int],
 ) -> None:
-    if lo >= hi or W < 0 or K < 0:
+    if lo >= hi or W < minw or K < mink:
+        # No positive item anywhere is cheap enough for this residual
+        # capacity (in one of the dimensions), so the subtree is empty.
+        return
+    if (
+        prefix_w[hi] - prefix_w[lo] <= W
+        and prefix_k[hi] - prefix_k[lo] <= K
+    ):
+        chosen.extend(i for i in range(lo, hi) if values[i] > 0)
         return
     if hi - lo == 1:
         if values[lo] > 0 and weights[lo] <= W and costs[lo] <= K:
             chosen.append(lo)
         return
+    if hi - lo == 2:
+        # Two-item closed form (see _backtrack_1d); the all-fit check
+        # already failed, so the pair can never be taken together.
+        a, b = lo, lo + 1
+        fa = values[a] > 0 and weights[a] <= W and costs[a] <= K
+        fb = values[b] > 0 and weights[b] <= W and costs[b] <= K
+        if fa and (not fb or values[a] > values[b]):
+            chosen.append(a)
+        elif fb:
+            chosen.append(b)
+        return
+    if hi - lo == 3:
+        # Three-item node without arrays (see _backtrack_1d): the
+        # combined profile is constant on rectangles whose corners are
+        # the step breakpoints of either half, so a lexicographic scan
+        # of the breakpoint grid reproduces the array argmax exactly.
+        wa, ka, va = weights[lo], costs[lo], values[lo]
+        wb, kb, vb = weights[lo + 1], costs[lo + 1], values[lo + 1]
+        wc, kc, vc = weights[lo + 2], costs[lo + 2], values[lo + 2]
+        pa = va > 0
+        pb = vb > 0
+        pc = vc > 0
+        pair = vb + vc
+
+        def _combined(m: int, k: int) -> float:
+            wcap = W - m
+            kcap = K - k
+            best = 0.0
+            if pb and wb <= wcap and kb <= kcap:
+                best = vb
+            if pc and wc <= wcap and kc <= kcap and vc > best:
+                best = vc
+            if (
+                pb
+                and pc
+                and wb + wc <= wcap
+                and kb + kc <= kcap
+                and pair > best
+            ):
+                best = pair
+            return va + best if (pa and wa <= m and ka <= k) else best
+
+        cps_m = sorted(
+            {
+                p
+                for p in (0, wa, W - wb + 1, W - wc + 1, W - wb - wc + 1)
+                if 0 <= p <= W
+            }
+        )
+        cps_k = sorted(
+            {
+                p
+                for p in (0, ka, K - kb + 1, K - kc + 1, K - kb - kc + 1)
+                if 0 <= p <= K
+            }
+        )
+        grid = [(_combined(m, k), m, k) for m in cps_m for k in cps_k]
+        best_v = max(v for v, _, _ in grid)
+        _, m, k = next(t for t in grid if t[0] == best_v)
+        _backtrack_2d(
+            weights, costs, values, prefix_w, prefix_k, minw, mink,
+            lo, lo + 1, m, k, chosen,
+        )
+        _backtrack_2d(
+            weights, costs, values, prefix_w, prefix_k, minw, mink,
+            lo + 1, hi, W - m, K - k, chosen,
+        )
+        return
     mid = (lo + hi) // 2
     left = _dp_values_2d(weights, costs, values, lo, mid, W, K)
     right = _dp_values_2d(weights, costs, values, mid, hi, W, K)
-    m, k = np.unravel_index(
-        int(np.argmax(left + right[::-1, ::-1])), left.shape
-    )
-    _backtrack_2d(weights, costs, values, lo, mid, int(m), int(k), chosen)
+    # Flipping both axes of a C-contiguous array reverses its flat
+    # buffer, so the combine runs as a single 1-D strided add instead of
+    # a 2-D reversed iteration (same element pairing, same additions).
+    flat = left.reshape(-1)
+    flat += right.reshape(-1)[::-1]
+    m, k = divmod(int(flat.argmax()), K + 1)
     _backtrack_2d(
-        weights, costs, values, mid, hi, W - int(m), K - int(k), chosen
+        weights, costs, values, prefix_w, prefix_k, minw, mink,
+        lo, mid, m, k, chosen,
+    )
+    _backtrack_2d(
+        weights, costs, values, prefix_w, prefix_k, minw, mink,
+        mid, hi, W - m, K - k, chosen,
     )
 
 
@@ -263,7 +506,9 @@ def knapsack_1d(
     )
     values = [item.value for item in items]
     chosen: list[int] = []
-    _backtrack_1d(weights, values, 0, len(items), W, chosen)
+    prefix_w = _positive_prefix(weights, values)
+    minw = _min_positive(weights, values, W + 1)
+    _backtrack_1d(weights, values, prefix_w, minw, 0, len(items), W, chosen)
     return _result(items, chosen)
 
 
@@ -291,7 +536,14 @@ def knapsack_cardinality(
     values = [item.value for item in items]
     costs = [1] * n  # every item occupies one host slot
     chosen: list[int] = []
-    _backtrack_2d(weights, costs, values, 0, n, W, K, chosen)
+    prefix_w = _positive_prefix(weights, values)
+    prefix_k = _positive_prefix(costs, values)
+    minw = _min_positive(weights, values, W + 1)
+    mink = _min_positive(costs, values, K + 1)
+    _backtrack_2d(
+        weights, costs, values, prefix_w, prefix_k, minw, mink,
+        0, n, W, K, chosen,
+    )
     return _result(items, chosen)
 
 
@@ -322,7 +574,14 @@ def knapsack_thread_capped(
     )
     values = [item.value for item in items]
     chosen: list[int] = []
-    _backtrack_2d(weights, threads, values, 0, n, W, T, chosen)
+    prefix_w = _positive_prefix(weights, values)
+    prefix_t = _positive_prefix(threads, values)
+    minw = _min_positive(weights, values, W + 1)
+    mint = _min_positive(threads, values, T + 1)
+    _backtrack_2d(
+        weights, threads, values, prefix_w, prefix_t, minw, mint,
+        0, n, W, T, chosen,
+    )
     return _result(items, chosen)
 
 

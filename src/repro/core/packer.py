@@ -84,6 +84,10 @@ class DevicePacker:
         # value function is pure, so memoizing per thread count removes
         # the per-item evaluation from the repack hot path.
         self._value_cache: dict[int, float] = {}
+        # Item is a frozen dataclass, so instances can be shared between
+        # packs; jobs cluster on a few (memory, threads) pairs and every
+        # repack used to rebuild an Item per job.
+        self._item_cache: dict[tuple[float, int], Item] = {}
 
     def _item_value(self, declared_threads: int) -> float:
         cached = self._value_cache.get(declared_threads)
@@ -105,14 +109,19 @@ class DevicePacker:
         """
         if free_memory_mb < 0:
             raise ValueError("free_memory_mb must be non-negative")
-        items = [
-            Item(
-                weight=job.declared_memory_mb,
-                value=self._item_value(job.declared_threads),
-                threads=job.declared_threads,
-            )
-            for job in jobs
-        ]
+        cache = self._item_cache
+        items = []
+        for job in jobs:
+            key = (job.declared_memory_mb, job.declared_threads)
+            item = cache.get(key)
+            if item is None:
+                item = Item(
+                    weight=job.declared_memory_mb,
+                    value=self._item_value(job.declared_threads),
+                    threads=job.declared_threads,
+                )
+                cache[key] = item
+            items.append(item)
         if max_jobs is not None:
             # The count bound cannot bind when even the smallest items
             # cannot reach it within the memory capacity; drop the

@@ -177,7 +177,13 @@ def balance_stats(devices: Sequence[XeonPhi]) -> BalanceStats:
 
 def concurrency_profile(device: XeonPhi, start: float, end: float,
                         buckets: int = 20) -> list[float]:
-    """Mean busy-thread fraction per time bucket (feeds histograms)."""
+    """Mean busy-thread fraction per time bucket (feeds histograms).
+
+    Each bucket mean bisects to its first overlapping telemetry segment
+    and walks only the segments inside the bucket, so profiling costs
+    O(buckets · log n + n) overall rather than the O(buckets · n) a
+    linear scan per bucket would — long traces can be bucketed finely.
+    """
     if end <= start:
         raise ValueError("end must be after start")
     if buckets <= 0:

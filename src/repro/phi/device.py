@@ -136,6 +136,11 @@ class XeonPhi:
         self.state = "healthy"
 
         self._tasks: list[_Task] = []
+        # Incremental thread/core totals over ``_tasks``: every rate
+        # recomputation used to re-sum the task list twice. Integer
+        # arithmetic, so the running totals are exactly the re-sums.
+        self._threads_sum = 0
+        self._cores_sum = 0
         self._resident: dict[Hashable, float] = {}
         self._on_kill: dict[Hashable, Callable[[Hashable], None]] = {}
         self._insertion: dict[Hashable, int] = {}
@@ -151,13 +156,12 @@ class XeonPhi:
     @property
     def demanded_threads(self) -> int:
         """Sum of thread demands of running offloads."""
-        return sum(task.threads for task in self._tasks)
+        return self._threads_sum
 
     @property
     def busy_cores(self) -> int:
         """Cores currently occupied (the paper's utilization numerator)."""
-        occupied = sum(self.spec.cores_for_threads(t.threads) for t in self._tasks)
-        return min(self.spec.cores, occupied)
+        return min(self.spec.cores, self._cores_sum)
 
     @property
     def resident_memory_mb(self) -> float:
@@ -320,6 +324,8 @@ class XeonPhi:
             work=float(work),
         )
         self._tasks.append(task)
+        self._threads_sum += threads
+        self._cores_sum += self.spec.cores_for_threads(threads)
         self._recompute()
         completed = False
         try:
@@ -338,6 +344,8 @@ class XeonPhi:
             completed = True
         finally:
             self._tasks.remove(task)
+            self._threads_sum -= threads
+            self._cores_sum -= self.spec.cores_for_threads(threads)
             self._recompute()
             self.offload_log.append(
                 OffloadRecord(

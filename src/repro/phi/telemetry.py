@@ -4,12 +4,22 @@ The motivation experiment of the paper (§III) monitors "the activity of
 each processing core" and reports time-average utilization. We record the
 busy-core count as a right-continuous step function and integrate it
 exactly, which is equivalent to sampling at infinite frequency.
+
+Queries are sublinear: ``value_at`` bisects for its segment, and
+``integral`` combines a lazily-maintained prefix-sum cache (for windows
+anchored at the start of the series) with a bisect to the first
+overlapping segment (for interior windows). Both reproduce the naive
+left-to-right accumulation term for term, so switching the lookup
+strategy cannot change a single output bit.
 """
 
 from __future__ import annotations
 
+from bisect import bisect_left, bisect_right
 from dataclasses import dataclass, field
 from typing import Iterator
+
+from ..sim import profile as _sim_profile
 
 
 @dataclass
@@ -18,45 +28,98 @@ class StepSeries:
 
     times: list[float] = field(default_factory=list)
     values: list[float] = field(default_factory=list)
+    #: Lazily-extended prefix integrals: ``_prefix[i]`` is the integral
+    #: over ``[times[0], times[i]]``. Never longer than ``times`` by more
+    #: than a stale tail (resynced on use), so direct construction with
+    #: pre-filled times/values stays valid.
+    _prefix: list[float] = field(
+        default_factory=list, init=False, repr=False, compare=False
+    )
 
     def record(self, time: float, value: float) -> None:
         """Set the series to ``value`` from ``time`` onward."""
-        if self.times and time < self.times[-1]:
-            raise ValueError(
-                f"time must not decrease (got {time} after {self.times[-1]})"
-            )
-        if self.times and time == self.times[-1]:
-            # Same-instant update: overwrite, keeping the series a function.
-            self.values[-1] = value
-            return
-        if self.values and self.values[-1] == value:
-            return  # No change; keep the series compact.
-        self.times.append(time)
+        profiler = _sim_profile.ACTIVE
+        if profiler is not None:
+            profiler.telemetry_records += 1
+        times = self.times
+        if times:
+            last = times[-1]
+            if time < last:
+                raise ValueError(
+                    f"time must not decrease (got {time} after {last})"
+                )
+            values = self.values
+            if time == last:
+                # Same-instant update: overwrite, keeping the series a
+                # function — and drop the breakpoint entirely when the
+                # overwrite reverts to the previous segment's value
+                # (otherwise a redundant zero-length step survives).
+                values[-1] = value
+                if len(values) >= 2 and values[-2] == value:
+                    times.pop()
+                    values.pop()
+                return
+            if values[-1] == value:
+                return  # No change; keep the series compact.
+        times.append(time)
         self.values.append(value)
+
+    def _prefix_integrals(self) -> list[float]:
+        """Sync and return the prefix-integral cache."""
+        prefix = self._prefix
+        times, values = self.times, self.values
+        n = len(times)
+        if len(prefix) > n:
+            # record() dropped a redundant breakpoint; earlier entries
+            # are still exact.
+            del prefix[n:]
+        m = len(prefix)
+        if m < n:
+            if m == 0:
+                prefix.append(0.0)
+                m = 1
+            acc = prefix[-1]
+            for i in range(m, n):
+                acc += values[i - 1] * (times[i] - times[i - 1])
+                prefix.append(acc)
+        return prefix
 
     def value_at(self, time: float) -> float:
         """The series value at ``time`` (0 before the first record)."""
-        result = 0.0
-        for t, v in zip(self.times, self.values):
-            if t > time:
-                break
-            result = v
-        return result
+        i = bisect_right(self.times, time) - 1
+        return self.values[i] if i >= 0 else 0.0
 
     def integral(self, start: float, end: float) -> float:
         """Exact integral of the step function over ``[start, end]``."""
         if end < start:
             raise ValueError("end must be >= start")
-        if end == start or not self.times:
+        times = self.times
+        if end == start or not times:
             return 0.0
+        values = self.values
+        n = len(times)
+        if start <= times[0]:
+            # Window anchored at (or before) the series start: the
+            # prefix cache answers in O(log n). prefix[j] accumulates
+            # the same terms in the same order as the naive walk, so
+            # the result is bit-identical.
+            j = bisect_left(times, end) - 1
+            if j < 0:
+                return 0.0  # Window ends before the first record.
+            return self._prefix_integrals()[j] + values[j] * (end - times[j])
+        # Interior window: bisect to the first overlapping segment and
+        # walk only the covered segments (the naive loop's terms for
+        # earlier segments are all skipped no-ops).
         total = 0.0
-        # Walk segments [t_i, t_{i+1}) clipped to [start, end].
-        for i, (t, v) in enumerate(zip(self.times, self.values)):
-            seg_end = self.times[i + 1] if i + 1 < len(self.times) else end
-            lo = max(t, start)
-            hi = min(seg_end, end)
+        i = bisect_right(times, start) - 1
+        for k in range(i, n):
+            seg_end = times[k + 1] if k + 1 < n else end
+            lo = times[k] if times[k] > start else start
+            hi = seg_end if seg_end < end else end
             if hi > lo:
-                total += v * (hi - lo)
+                total += values[k] * (hi - lo)
+            if seg_end >= end:
+                break
         return total
 
     def mean(self, start: float, end: float) -> float:

@@ -16,6 +16,7 @@ It follows the familiar generator-based process model::
     env.run(until=3.5)
 """
 
+from . import profile
 from .core import EmptySchedule, Environment
 from .events import (
     AllOf,
@@ -55,6 +56,7 @@ __all__ = [
     "Process",
     "PriorityResource",
     "Request",
+    "profile",
     "Resource",
     "SimulationError",
     "Store",

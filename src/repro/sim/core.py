@@ -2,11 +2,14 @@
 
 from __future__ import annotations
 
-import heapq
+from heapq import heappop, heappush
+from time import perf_counter
 from typing import Any, Optional, Union
 
+from . import profile as _profile
 from .events import (
     NORMAL,
+    PENDING,
     AllOf,
     AnyOf,
     Event,
@@ -15,6 +18,9 @@ from .events import (
     Timeout,
 )
 from .process import Process, ProcessGenerator
+
+#: Upper bound on the recycled callback-list pool (see ``_cb_pool``).
+_POOL_LIMIT = 256
 
 
 class EmptySchedule(Exception):
@@ -39,6 +45,15 @@ class Environment:
         self._queue: list[tuple[float, int, int, Event]] = []
         self._eid = 0
         self._active_proc: Optional[Process] = None
+        # Recycled (emptied) callback lists: the timeout→resume pattern
+        # allocates one single-element list per event, which dominated
+        # kernel allocation; the run loop returns lists here and
+        # ``Timeout.__init__`` reuses them.
+        self._cb_pool: list[list] = []
+        # Instrumentation is opt-in per environment, captured at
+        # construction from the module-global active profiler so
+        # experiment code needs no plumbing.
+        self._profiler = _profile.ACTIVE
 
     # -- introspection ---------------------------------------------------
 
@@ -51,6 +66,11 @@ class Environment:
     def active_process(self) -> Optional[Process]:
         """The process currently being resumed, if any."""
         return self._active_proc
+
+    @property
+    def profiler(self) -> Optional[_profile.SimProfiler]:
+        """The profiler this environment reports to (usually ``None``)."""
+        return self._profiler
 
     def peek(self) -> float:
         """Time of the next scheduled event, or ``inf`` when none remain."""
@@ -89,7 +109,9 @@ class Environment:
         if delay < 0:
             raise ValueError(f"negative delay {delay!r}")
         self._eid += 1
-        heapq.heappush(self._queue, (self._now + delay, priority, self._eid, event))
+        heappush(self._queue, (self._now + delay, priority, self._eid, event))
+        if self._profiler is not None:
+            self._profiler.count_scheduled(type(event).__name__)
 
     def step(self) -> None:
         """Process the next scheduled event.
@@ -100,11 +122,12 @@ class Environment:
             When the event queue is empty.
         """
         try:
-            self._now, _, _, event = heapq.heappop(self._queue)
+            self._now, _, _, event = heappop(self._queue)
         except IndexError:
             raise EmptySchedule() from None
 
-        callbacks, event.callbacks = event.callbacks, None
+        callbacks = event.callbacks
+        event.callbacks = None
         assert callbacks is not None
         for callback in callbacks:
             callback(event)
@@ -114,6 +137,83 @@ class Environment:
             exc = event._value
             assert isinstance(exc, BaseException)
             raise exc
+
+        del callbacks[:]
+        if len(self._cb_pool) < _POOL_LIMIT:
+            self._cb_pool.append(callbacks)
+
+    def _loop(self) -> None:
+        """The hot run loop: :meth:`step` inlined with hoisted lookups.
+
+        Semantically identical to ``while True: self.step()`` — the
+        inlining only removes per-event method-call and attribute-lookup
+        overhead (the queue/pool bindings are loop-invariant).
+        """
+        queue = self._queue
+        pool = self._cb_pool
+        pop = heappop
+        while True:
+            try:
+                item = pop(queue)
+            except IndexError:
+                raise EmptySchedule() from None
+            self._now = item[0]
+            event = item[3]
+
+            callbacks = event.callbacks
+            event.callbacks = None
+            for callback in callbacks:
+                callback(event)
+
+            if not event._ok and not event._defused:
+                exc = event._value
+                assert isinstance(exc, BaseException)
+                raise exc
+
+            del callbacks[:]
+            if len(pool) < _POOL_LIMIT:
+                pool.append(callbacks)
+
+    def _loop_profiled(self) -> None:
+        """:meth:`_loop` with per-kind counters and wall attribution."""
+        prof = self._profiler
+        assert prof is not None
+        queue = self._queue
+        pool = self._cb_pool
+        pop = heappop
+        timer = perf_counter
+        fired = prof.events_fired
+        wall = prof.wall_by_kind
+        while True:
+            qlen = len(queue)
+            if qlen > prof.heap_peak:
+                prof.heap_peak = qlen
+            try:
+                item = pop(queue)
+            except IndexError:
+                raise EmptySchedule() from None
+            self._now = item[0]
+            event = item[3]
+            kind = type(event).__name__
+            fired[kind] = fired.get(kind, 0) + 1
+
+            callbacks = event.callbacks
+            event.callbacks = None
+            begin = timer()
+            try:
+                for callback in callbacks:
+                    callback(event)
+            finally:
+                wall[kind] = wall.get(kind, 0.0) + (timer() - begin)
+
+            if not event._ok and not event._defused:
+                exc = event._value
+                assert isinstance(exc, BaseException)
+                raise exc
+
+            del callbacks[:]
+            if len(pool) < _POOL_LIMIT:
+                pool.append(callbacks)
 
     def run(self, until: Union[None, float, Event] = None) -> Any:
         """Run the simulation.
@@ -140,19 +240,27 @@ class Environment:
         if isinstance(until, Event):
             if until.callbacks is None:
                 # Already processed: nothing to run.
-                return until.value
+                return until._value
             until.callbacks.append(StopSimulation.callback)
 
+        prof = self._profiler
+        if prof is not None:
+            prof.start()
         try:
-            while True:
-                self.step()
+            if prof is not None:
+                self._loop_profiled()
+            else:
+                self._loop()
         except StopSimulation as stop:
             return stop.args[0]
         except EmptySchedule:
-            if isinstance(until, Event) and not until.triggered:
+            if isinstance(until, Event) and until._value is PENDING:
                 raise SimulationError(
                     "no more events: the 'until' event was never triggered"
                 ) from None
+        finally:
+            if prof is not None:
+                prof.stop()
         return None
 
     def __repr__(self) -> str:

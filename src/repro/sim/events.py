@@ -17,6 +17,7 @@ are processed in (priority, insertion-order) order.
 
 from __future__ import annotations
 
+from heapq import heappush
 from typing import TYPE_CHECKING, Any, Callable, Iterable, Optional
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard for typing only
@@ -55,9 +56,9 @@ class StopSimulation(Exception):
     @classmethod
     def callback(cls, event: "Event") -> None:
         """Event callback that stops the simulation with the event value."""
-        if event.ok:
-            raise cls(event.value)
-        raise event.value  # type: ignore[misc]
+        if event._ok:
+            raise cls(event._value)
+        raise event._value  # type: ignore[misc]
 
 
 class Event:
@@ -119,7 +120,7 @@ class Event:
 
     def succeed(self, value: Any = None, priority: int = NORMAL) -> "Event":
         """Trigger the event successfully with ``value``."""
-        if self.triggered:
+        if self._value is not PENDING:
             raise SimulationError(f"{self!r} has already been triggered")
         self._ok = True
         self._value = value
@@ -128,7 +129,7 @@ class Event:
 
     def fail(self, exception: BaseException, priority: int = NORMAL) -> "Event":
         """Trigger the event with an exception."""
-        if self.triggered:
+        if self._value is not PENDING:
             raise SimulationError(f"{self!r} has already been triggered")
         if not isinstance(exception, BaseException):
             raise TypeError(f"{exception!r} is not an exception")
@@ -139,11 +140,11 @@ class Event:
 
     def trigger(self, event: "Event") -> None:
         """Copy the outcome of ``event`` onto this event (callback helper)."""
-        if event.ok:
-            self.succeed(event.value)
+        if event._ok:
+            self.succeed(event._value)
         else:
-            event.defused = True
-            self.fail(event.value)
+            event._defused = True
+            self.fail(event._value)
 
     # -- composition -----------------------------------------------------
 
@@ -170,11 +171,23 @@ class Timeout(Event):
     def __init__(self, env: "Environment", delay: float, value: Any = None) -> None:
         if delay < 0:
             raise ValueError(f"negative delay {delay!r}")
-        super().__init__(env)
-        self.delay = delay
-        self._ok = True
+        # Timeouts are the kernel's dominant event, so Event.__init__ and
+        # Environment.schedule are inlined here: the callback list comes
+        # from the environment's recycle pool (the run loop returns
+        # emptied lists) and the heap entry is pushed directly. Must stay
+        # exactly equivalent to schedule(self, NORMAL, delay).
+        self.env = env
+        pool = env._cb_pool
+        self.callbacks = pool.pop() if pool else []
         self._value = value
-        env.schedule(self, priority=NORMAL, delay=delay)
+        self._ok = True
+        self._defused = False
+        self.delay = delay
+        eid = env._eid + 1
+        env._eid = eid
+        heappush(env._queue, (env._now + delay, NORMAL, eid, self))
+        if env._profiler is not None:
+            env._profiler.count_scheduled("Timeout")
 
     def __repr__(self) -> str:
         return f"<Timeout delay={self.delay!r} at {id(self):#x}>"
@@ -237,22 +250,21 @@ class Condition(Event):
 
         # Check for already-processed events first (their callbacks are gone).
         for event in self._events:
-            if event.processed:
+            if event.callbacks is None:
                 self._check(event)
             else:
-                assert event.callbacks is not None
                 event.callbacks.append(self._check)
 
         # Immediately trigger the condition when it has no sub-events.
-        if self._evaluate(self._events, self._count) and not self.triggered:
+        if self._evaluate(self._events, self._count) and self._value is PENDING:
             self.succeed(ConditionValue())
 
     def _populate_value(self, value: ConditionValue) -> None:
         for event in self._events:
             if isinstance(event, Condition):
                 event._populate_value(value)
-            elif event.processed:
-                # ``processed`` (not ``triggered``): Timeouts are born
+            elif event.callbacks is None:
+                # Processed (not merely triggered): Timeouts are born
                 # triggered, but only count once they have actually fired.
                 value.events.append(event)
 
@@ -262,12 +274,12 @@ class Condition(Event):
         return value
 
     def _check(self, event: Event) -> None:
-        if self.triggered:
+        if self._value is not PENDING:
             return
         self._count += 1
-        if not event.ok:
-            event.defused = True
-            self.fail(event.value)
+        if not event._ok:
+            event._defused = True
+            self.fail(event._value)
         elif self._evaluate(self._events, self._count):
             self.succeed(self._build_value())
 

@@ -55,18 +55,23 @@ class Process(Event):
         """Advance the generator with the outcome of ``event``."""
         env = self.env
         env._active_proc = self
+        if env._profiler is not None:
+            env._profiler.process_switches += 1
+        # Events reaching _resume are always triggered, so the raw slots
+        # are read directly (the ok/value properties re-check that).
+        generator = self._generator
 
         while True:
             try:
-                if event.ok:
-                    next_event = self._generator.send(event.value)
+                if event._ok:
+                    next_event = generator.send(event._value)
                 else:
                     # The waited-for event failed: re-raise inside the
                     # generator so it may handle (and thereby defuse) it.
-                    event.defused = True
-                    exc = event.value
+                    event._defused = True
+                    exc = event._value
                     assert isinstance(exc, BaseException)
-                    next_event = self._generator.throw(exc)
+                    next_event = generator.throw(exc)
             except StopIteration as stop:
                 self._target = None
                 env._active_proc = None
@@ -89,15 +94,15 @@ class Process(Event):
                 )
                 return
 
-            if next_event.processed:
+            callbacks = next_event.callbacks
+            if callbacks is None:
                 # The event already happened; loop and resume immediately.
                 event = next_event
                 continue
 
-            if next_event.callbacks is not None:
-                self._target = next_event
-                next_event.callbacks.append(self._resume)
-                break
+            self._target = next_event
+            callbacks.append(self._resume)
+            break
 
         env._active_proc = None
 

@@ -1,0 +1,164 @@
+"""Built-in kernel profiler: per-subsystem counters + wall breakdown.
+
+The profiler is deliberately pull-based and allocation-free on the hot
+path: the kernel keeps a reference to the active profiler (picked up
+from :data:`ACTIVE` when an :class:`~repro.sim.core.Environment` is
+constructed) and bumps plain dict counters only when one is installed.
+A run without a profiler pays a single ``is not None`` check per event.
+
+Usage::
+
+    from repro.sim import profile
+
+    prof = profile.activate()      # future Environments are instrumented
+    try:
+        ... build env, run simulation ...
+    finally:
+        profile.deactivate()
+    print(prof.render())
+
+The CLI exposes this as ``--profile`` (see ``repro.experiments``), which
+forces in-process sequential execution so the counters cover the run.
+"""
+
+from __future__ import annotations
+
+from time import perf_counter
+from typing import Optional
+
+#: The profiler new environments attach to (``None`` = profiling off).
+ACTIVE: Optional["SimProfiler"] = None
+
+
+class SimProfiler:
+    """Counters for one (or more) instrumented simulation runs.
+
+    Attributes
+    ----------
+    events_scheduled / events_fired:
+        Per event-kind counts (``Timeout``, ``Process``, ``Request``, …).
+        *Scheduled* counts heap pushes; *fired* counts processed events.
+    wall_by_kind:
+        Wall-clock seconds spent running the callbacks of each event
+        kind — the closest thing to "time per subsystem" the kernel can
+        observe without tracing.
+    process_switches:
+        Generator resumptions (``Process._resume`` invocations).
+    heap_peak:
+        Largest event-queue length observed before a pop.
+    telemetry_records:
+        ``StepSeries.record`` calls across all series.
+    """
+
+    __slots__ = (
+        "events_scheduled",
+        "events_fired",
+        "wall_by_kind",
+        "process_switches",
+        "heap_peak",
+        "telemetry_records",
+        "_started",
+        "wall_total",
+    )
+
+    def __init__(self) -> None:
+        self.events_scheduled: dict[str, int] = {}
+        self.events_fired: dict[str, int] = {}
+        self.wall_by_kind: dict[str, float] = {}
+        self.process_switches = 0
+        self.heap_peak = 0
+        self.telemetry_records = 0
+        self._started: Optional[float] = None
+        self.wall_total = 0.0
+
+    # -- hot-path hooks (called by the kernel) ----------------------------
+
+    def count_scheduled(self, kind: str) -> None:
+        counts = self.events_scheduled
+        counts[kind] = counts.get(kind, 0) + 1
+
+    # -- lifecycle --------------------------------------------------------
+
+    def start(self) -> None:
+        """Open a wall-clock window (nested calls keep the first start)."""
+        if self._started is None:
+            self._started = perf_counter()
+
+    def stop(self) -> None:
+        """Close the wall-clock window, accumulating into ``wall_total``."""
+        if self._started is not None:
+            self.wall_total += perf_counter() - self._started
+            self._started = None
+
+    # -- derived ----------------------------------------------------------
+
+    @property
+    def total_fired(self) -> int:
+        return sum(self.events_fired.values())
+
+    @property
+    def total_scheduled(self) -> int:
+        return sum(self.events_scheduled.values())
+
+    def events_per_second(self) -> float:
+        """Fired events per wall second (0 when no window was recorded)."""
+        if self.wall_total <= 0:
+            return 0.0
+        return self.total_fired / self.wall_total
+
+    def render(self) -> str:
+        """Format the breakdown table shown after a ``--profile`` run."""
+        kinds = sorted(
+            set(self.events_scheduled) | set(self.events_fired),
+            key=lambda k: -self.wall_by_kind.get(k, 0.0),
+        )
+        callback_wall = sum(self.wall_by_kind.values())
+        lines = [
+            "sim profiler "
+            + "-" * 47,
+            f"{'event kind':<16}{'scheduled':>12}{'fired':>12}"
+            f"{'wall s':>10}{'wall %':>8}",
+        ]
+        for kind in kinds:
+            wall = self.wall_by_kind.get(kind, 0.0)
+            share = 100.0 * wall / callback_wall if callback_wall > 0 else 0.0
+            lines.append(
+                f"{kind:<16}{self.events_scheduled.get(kind, 0):>12,}"
+                f"{self.events_fired.get(kind, 0):>12,}"
+                f"{wall:>10.3f}{share:>7.1f}%"
+            )
+        lines.append(
+            f"{'total':<16}{self.total_scheduled:>12,}"
+            f"{self.total_fired:>12,}{callback_wall:>10.3f}{100.0:>7.1f}%"
+        )
+        lines.append(f"{'process switches':<24}{self.process_switches:>16,}")
+        lines.append(f"{'heap peak':<24}{self.heap_peak:>16,}")
+        lines.append(f"{'telemetry records':<24}{self.telemetry_records:>16,}")
+        if self.wall_total > 0:
+            lines.append(
+                f"{'wall clock':<24}{self.wall_total:>15.3f}s"
+            )
+            lines.append(
+                f"{'events/sec':<24}{self.events_per_second():>16,.0f}"
+            )
+        return "\n".join(lines)
+
+    def __repr__(self) -> str:
+        return (
+            f"<SimProfiler fired={self.total_fired} "
+            f"switches={self.process_switches} heap_peak={self.heap_peak}>"
+        )
+
+
+def activate() -> SimProfiler:
+    """Install a fresh profiler; environments built afterwards attach."""
+    global ACTIVE
+    ACTIVE = SimProfiler()
+    return ACTIVE
+
+
+def deactivate() -> Optional[SimProfiler]:
+    """Uninstall the active profiler and return it (``None`` if none)."""
+    global ACTIVE
+    prof, ACTIVE = ACTIVE, None
+    return prof

@@ -338,22 +338,44 @@ class Store(_BaseResource):
     def _drain_gets(self) -> None:
         # Serve waiting getters in FIFO order; a getter whose filter matches
         # nothing stays queued without blocking later getters.
-        made_progress = True
-        while made_progress:
-            made_progress = False
-            for entry in sorted(self._get_waiters):
-                _, event = entry
-                for i, item in enumerate(self.items):
+        waiters = self._get_waiters
+        items = self.items
+        while True:
+            # Fast path: serve the earliest waiter straight off the heap.
+            # The common unfiltered-FIFO case never leaves this loop, so
+            # it skips the sorted() walk and linear remove + re-heapify.
+            while waiters and items:
+                _, event = waiters[0]
+                idx = -1
+                for i, item in enumerate(items):
                     if event.filter(item):
-                        del self.items[i]
-                        self._get_waiters.remove(entry)
-                        heapq.heapify(self._get_waiters)
+                        idx = i
+                        break
+                if idx < 0:
+                    break
+                item = items[idx]
+                del items[idx]
+                heapq.heappop(waiters)
+                event.succeed(item, priority=URGENT)
+                self._drain_puts()
+            # Slow path: the head waiter matches nothing, but a later
+            # waiter may still be servable without unblocking the head.
+            made_progress = False
+            for entry in sorted(waiters):
+                _, event = entry
+                for i, item in enumerate(items):
+                    if event.filter(item):
+                        del items[i]
+                        waiters.remove(entry)
+                        heapq.heapify(waiters)
                         event.succeed(item, priority=URGENT)
                         self._drain_puts()
                         made_progress = True
                         break
                 if made_progress:
                     break
+            if not made_progress:
+                return
 
     def _drain_puts(self) -> None:
         while self._put_waiters and len(self.items) < self.capacity:

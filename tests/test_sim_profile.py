@@ -1,0 +1,81 @@
+"""Tests for the built-in simulation profiler."""
+
+from repro.sim import Environment, profile
+
+
+def _workload(env, n=50):
+    def worker(env, delay):
+        for _ in range(4):
+            yield env.timeout(delay)
+
+    for i in range(n):
+        env.process(worker(env, 0.5 + i * 0.01))
+
+
+class TestSimProfiler:
+    def teardown_method(self):
+        profile.deactivate()
+
+    def test_inactive_by_default(self):
+        env = Environment()
+        assert env.profiler is None
+
+    def test_environment_attaches_active_profiler(self):
+        prof = profile.activate()
+        env = Environment()
+        assert env.profiler is prof
+        _workload(env)
+        env.run()
+        assert prof.events_scheduled.get("Timeout", 0) == 200
+        assert prof.events_fired.get("Timeout", 0) == 200
+        assert prof.process_switches >= 200
+        assert prof.heap_peak > 0
+        assert prof.total_fired == prof.total_scheduled
+
+    def test_wall_window_and_rate(self):
+        prof = profile.activate()
+        env = Environment()
+        _workload(env)
+        env.run()
+        assert prof.wall_total > 0
+        assert prof.events_per_second() > 0
+
+    def test_telemetry_records_counted(self):
+        from repro.phi.telemetry import StepSeries
+
+        prof = profile.activate()
+        series = StepSeries()
+        series.record(0.0, 1.0)
+        series.record(1.0, 2.0)
+        assert prof.telemetry_records == 2
+
+    def test_render_mentions_every_section(self):
+        prof = profile.activate()
+        env = Environment()
+        _workload(env)
+        env.run()
+        text = prof.render()
+        for needle in (
+            "event kind",
+            "Timeout",
+            "total",
+            "process switches",
+            "heap peak",
+            "telemetry records",
+            "events/sec",
+        ):
+            assert needle in text
+
+    def test_deactivate_detaches_future_environments(self):
+        prof = profile.activate()
+        assert profile.deactivate() is prof
+        assert profile.ACTIVE is None
+        assert Environment().profiler is None
+
+    def test_counters_span_multiple_environments(self):
+        prof = profile.activate()
+        for _ in range(2):
+            env = Environment()
+            _workload(env, n=10)
+            env.run()
+        assert prof.events_fired.get("Timeout", 0) == 2 * 40
