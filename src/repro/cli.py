@@ -195,15 +195,42 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "breakdown after the run (implies --jobs 1 and --no-cache so the "
         "counters cover every cell in-process)",
     )
+    parser.add_argument(
+        "--trace", metavar="PATH", default=None,
+        help="write a Chrome trace_event JSON of the run to PATH — open it "
+        "in chrome://tracing or https://ui.perfetto.dev (implies --jobs 1 "
+        "and --no-cache; deterministic for a fixed seed)",
+    )
+    parser.add_argument(
+        "--metrics", metavar="PATH", default=None,
+        help="write a plain-text metrics summary (counters, gauges, "
+        "histograms) of the run to PATH (implies --jobs 1 and --no-cache)",
+    )
     args = parser.parse_args(argv)
 
     if args.jobs is not None and args.jobs < 1:
         parser.error("--jobs must be >= 1")
     if args.fault_rates and any(rate < 0 for rate in args.fault_rates):
         parser.error("--fault-rate must be non-negative")
-    if args.profile:
-        # Worker processes would each profile privately and cache hits
-        # would skip simulation entirely; neither yields usable counters.
+    observing = [
+        flag
+        for flag, on in (
+            ("--profile", args.profile),
+            ("--trace", args.trace is not None),
+            ("--metrics", args.metrics is not None),
+        )
+        if on
+    ]
+    if observing:
+        # Worker processes would each observe privately and cache hits
+        # would skip simulation entirely; neither yields usable output —
+        # so an explicit request for parallelism is a contradiction, not
+        # something to silently override.
+        if args.jobs is not None and args.jobs > 1:
+            parser.error(
+                f"{'/'.join(observing)} runs every cell in-process; "
+                f"--jobs {args.jobs} conflicts (omit --jobs or pass --jobs 1)"
+            )
         args.jobs = 1
         args.no_cache = True
 
@@ -233,6 +260,16 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         from .sim import profile as sim_profile
 
         profiler = sim_profile.activate()
+    tracer = None
+    registry = None
+    if args.trace is not None:
+        from .obs import trace as obs_trace
+
+        tracer = obs_trace.activate()
+    if args.metrics is not None:
+        from .obs import metrics as obs_metrics
+
+        registry = obs_metrics.activate()
 
     started = time.perf_counter()
     try:
@@ -244,6 +281,14 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             from .sim import profile as sim_profile
 
             sim_profile.deactivate()
+        if tracer is not None:
+            from .obs import trace as obs_trace
+
+            obs_trace.deactivate()
+        if registry is not None:
+            from .obs import metrics as obs_metrics
+
+            obs_metrics.deactivate()
     wall = time.perf_counter() - started
 
     offset = 0
@@ -272,6 +317,22 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     if profiler is not None:
         print()
         print(profiler.render())
+    if tracer is not None:
+        from .obs.export import chrome_trace
+
+        with open(args.trace, "w") as fh:
+            fh.write(chrome_trace(tracer))
+        counts = tracer.span_counts()
+        print(
+            f"[trace: {sum(counts.values())} spans across "
+            f"{len(tracer.cells)} cell(s) -> {args.trace}]"
+        )
+    if registry is not None:
+        from .obs.export import render_summary
+
+        with open(args.metrics, "w") as fh:
+            fh.write(render_summary(tracer, registry) + "\n")
+        print(f"[metrics: {len(registry.cells)} cell(s) -> {args.metrics}]")
     return 0
 
 

@@ -21,6 +21,8 @@ from typing import Optional
 from ..condor.ads import DeviceSnapshot
 from ..cosmic import Cosmic, DeclaredMemoryEnforcer
 from ..mpss import OffloadRuntime, SCIFModel
+from ..obs import metrics as _metrics
+from ..obs import trace as _trace
 from ..phi import (
     AffinitizedContention,
     CALIBRATED_SHARING_PENALTY,
@@ -228,6 +230,20 @@ class ComputeNode:
         assert cosmic is not None
         declared = profile.declared_memory_mb
         admit = cosmic.admit_job(declared)
+        tracer = _trace.ACTIVE
+        admit_start = self.env.now
+        span = None
+        if tracer is not None:
+            parent = tracer.get(("run", profile.job_id))
+            span = tracer.begin(
+                "admission",
+                "cosmic",
+                self.env.now,
+                tid=parent.tid if parent is not None else 0,
+                parent=parent,
+                device=self.devices[index].name,
+                declared_mb=declared,
+            )
         try:
             yield admit
         except BaseException:
@@ -235,11 +251,20 @@ class ComputeNode:
             # withdraw an ungranted reservation, or return a granted one
             # the interrupt beat us to (its grant already deducted the
             # memory pool).
+            if span is not None:
+                tracer.end(span, self.env.now, interrupted=True)
             if admit.triggered:
                 cosmic.release_job(declared)
             else:
                 admit.cancel()
             raise
+        if span is not None:
+            tracer.end(span, self.env.now)
+        registry = _metrics.ACTIVE
+        if registry is not None:
+            registry.histogram("cosmic.admission_wait_s").observe(
+                self.env.now - admit_start
+            )
         self._running[index] += 1
         try:
             result = yield from self.runtimes[index].execute(profile)

@@ -17,6 +17,8 @@ from typing import Callable, Optional
 
 from ..faults.errors import DEVICE_FAILED, JOB_CRASHED, NODE_LOST
 from ..mpss.runtime import JobRunResult
+from ..obs import metrics as _metrics
+from ..obs import trace as _trace
 from ..sim import Environment, Event
 from ..workloads.profiles import JobProfile
 from .ads import job_ad
@@ -40,6 +42,11 @@ INFRASTRUCTURE_STATUSES = frozenset(
 
 #: Sort key for FIFO queue listings (precomputed at submission).
 _FIFO_KEY = operator.attrgetter("fifo_key")
+
+
+def job_tid(record: "JobRecord") -> int:
+    """The trace track a job's lifecycle spans land on."""
+    return _trace.JOB_TID_BASE + record.seq
 
 
 @dataclass(frozen=True)
@@ -145,6 +152,9 @@ class Schedd:
         # every completion re-scanned the whole record table (O(jobs) per
         # completion, O(jobs^2) per run); transitions keep it exact.
         self._unfinished = 0
+        # Incremental idle count, kept in lockstep with status changes so
+        # the queue-depth gauge never pays a full-queue scan.
+        self._idle = 0
 
     # -- submission -------------------------------------------------------
 
@@ -169,6 +179,33 @@ class Schedd:
         record.fifo_key = (profile.submit_time, record.seq)
         self._records[profile.job_id] = record
         self._unfinished += 1
+        self._idle += 1
+        tracer = _trace.ACTIVE
+        if tracer is not None:
+            tid = job_tid(record)
+            tracer.set_thread_name(tid, f"job {record.job_id}")
+            root = tracer.begin_keyed(
+                ("job", record.job_id),
+                "job",
+                "schedd",
+                self.env.now,
+                tid=tid,
+                job=record.job_id,
+                declared_mb=profile.declared_memory_mb,
+                declared_threads=profile.declared_threads,
+            )
+            tracer.begin_keyed(
+                ("queued", record.job_id),
+                "queued",
+                "schedd",
+                self.env.now,
+                tid=tid,
+                parent=root,
+            )
+        registry = _metrics.ACTIVE
+        if registry is not None:
+            registry.counter("schedd.jobs_submitted").inc()
+            registry.gauge("schedd.queue_depth").record(self.env.now, self._idle)
         for listener in list(self.submit_listeners):
             listener(record)
         return record
@@ -241,6 +278,20 @@ class Schedd:
         record.matched_node = node
         record.matched_device = device
         record.ad["JobStatus"] = RUNNING
+        self._idle -= 1
+        tracer = _trace.ACTIVE
+        if tracer is not None:
+            span = tracer.end_keyed(
+                ("queued", job_id), self.env.now, node=node, device=device
+            )
+            registry = _metrics.ACTIVE
+            if registry is not None and span is not None:
+                registry.histogram("job.queue_wait_s").observe(
+                    span.end - span.start
+                )
+        registry = _metrics.ACTIVE
+        if registry is not None:
+            registry.gauge("schedd.queue_depth").record(self.env.now, self._idle)
         for listener in list(self.start_listeners):
             listener(record)
 
@@ -252,6 +303,29 @@ class Schedd:
         record.result = result
         record.ad["JobStatus"] = COMPLETED
         self._unfinished -= 1
+        tracer = _trace.ACTIVE
+        if tracer is not None:
+            tracer.instant(
+                "completed",
+                "schedd",
+                self.env.now,
+                tid=job_tid(record),
+                status=result.status,
+            )
+            tracer.end_keyed(
+                ("job", job_id),
+                self.env.now,
+                status=result.status,
+                offloads=result.offloads_run,
+                attempts=record.attempts,
+            )
+        registry = _metrics.ACTIVE
+        if registry is not None:
+            registry.counter("schedd.jobs_completed").inc()
+            if result.status != "completed":
+                registry.counter("schedd.jobs_killed").inc()
+            if record.attempts > 0:
+                registry.counter("schedd.jobs_retried_completed").inc()
         assert record.completion is not None
         record.completion.succeed(result)
         for listener in list(self.completion_listeners):
@@ -276,10 +350,34 @@ class Schedd:
         record.matched_node = None
         record.matched_device = None
         retry = self.retry_policy.should_retry(result.status, record.attempts)
+        tracer = _trace.ACTIVE
+        if tracer is not None:
+            tracer.instant(
+                "run-failed",
+                "schedd",
+                self.env.now,
+                tid=job_tid(record),
+                status=result.status,
+                attempt=record.attempts,
+                retry=retry,
+            )
+        registry = _metrics.ACTIVE
+        if registry is not None:
+            registry.counter("schedd.runs_failed").inc()
         if retry:
             record.status = BACKOFF
             record.ad["JobStatus"] = BACKOFF
             delay = self.retry_policy.backoff(record.attempts)
+            if tracer is not None:
+                tracer.begin_keyed(
+                    ("backoff", job_id),
+                    "backoff",
+                    "schedd",
+                    self.env.now,
+                    tid=job_tid(record),
+                    parent=tracer.get(("job", job_id)),
+                    attempt=record.attempts,
+                )
             self.env.process(
                 self._requeue_after(record, delay), name=f"requeue:{job_id}"
             )
@@ -289,6 +387,15 @@ class Schedd:
             record.ad["JobStatus"] = FAILED
             self._unfinished -= 1
             self.terminal_failures += 1
+            if tracer is not None:
+                tracer.end_keyed(
+                    ("job", job_id),
+                    self.env.now,
+                    status=result.status,
+                    attempts=record.attempts,
+                )
+            if registry is not None:
+                registry.counter("schedd.jobs_failed_terminal").inc()
             assert record.completion is not None
             # succeed (not fail): the result object carries the failure
             # status, and an un-waited failed event would crash the
@@ -309,6 +416,23 @@ class Schedd:
             # through its requeue listener.
             record.ad["Requirements"] = record.base_requirements
         self.requeues += 1
+        self._idle += 1
+        tracer = _trace.ACTIVE
+        if tracer is not None:
+            tracer.end_keyed(("backoff", record.job_id), self.env.now)
+            tracer.begin_keyed(
+                ("queued", record.job_id),
+                "queued",
+                "schedd",
+                self.env.now,
+                tid=job_tid(record),
+                parent=tracer.get(("job", record.job_id)),
+                attempt=record.attempts,
+            )
+        registry = _metrics.ACTIVE
+        if registry is not None:
+            registry.counter("schedd.requeues").inc()
+            registry.gauge("schedd.queue_depth").record(self.env.now, self._idle)
         for listener in list(self.requeue_listeners):
             listener(record)
 

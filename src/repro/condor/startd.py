@@ -21,10 +21,12 @@ from typing import Any, Optional, Protocol
 
 from ..faults.errors import fault_status_of
 from ..mpss.runtime import JobRunResult
+from ..obs import metrics as _metrics
+from ..obs import trace as _trace
 from ..sim import Environment, Interrupt
 from ..workloads.profiles import JobProfile
 from .ads import DeviceSnapshot, MachineSnapshot
-from .schedd import JobRecord, Schedd
+from .schedd import JobRecord, Schedd, job_tid
 
 
 class NodeExecutor(Protocol):
@@ -191,10 +193,37 @@ class Startd:
         started = self.env.now
         result: Optional[JobRunResult] = None
         failure_status: Optional[str] = None
+        job_id = record.job_id
+        tracer = _trace.ACTIVE
+        if tracer is not None:
+            root = tracer.get(("job", job_id))
+            tid = job_tid(record)
+            tracer.begin_keyed(
+                ("dispatch", job_id),
+                "dispatch",
+                "startd",
+                started,
+                tid=tid,
+                parent=root,
+                node=self.name,
+            )
         try:
             try:
                 if self.dispatch_latency > 0:
                     yield self.env.timeout(self.dispatch_latency)
+                if tracer is not None:
+                    tracer.end_keyed(("dispatch", job_id), self.env.now)
+                    tracer.begin_keyed(
+                        ("run", job_id),
+                        "run",
+                        "startd",
+                        self.env.now,
+                        tid=job_tid(record),
+                        parent=tracer.get(("job", job_id)),
+                        node=self.name,
+                        device=device_index,
+                        exclusive=exclusive,
+                    )
                 result = yield from self.executor.execute(
                     record.profile, device_index, exclusive
                 )
@@ -211,6 +240,19 @@ class Startd:
             self._busy_slots -= 1
             if exclusive and device_index is not None:
                 self._exclusive_claims.discard(device_index)
+            if tracer is not None:
+                # Whichever stage the job died in (a fault can land
+                # during the dispatch handshake) is still open: close it.
+                tracer.end_keyed(("dispatch", job_id), self.env.now)
+                status = (
+                    failure_status
+                    if failure_status is not None
+                    else (result.status if result is not None else "completed")
+                )
+                span = tracer.end_keyed(("run", job_id), self.env.now, status=status)
+                registry = _metrics.ACTIVE
+                if registry is not None and span is not None:
+                    registry.histogram("job.run_s").observe(span.end - span.start)
         if failure_status is not None:
             failed = JobRunResult(
                 job_id=record.job_id,

@@ -23,7 +23,9 @@ from dataclasses import dataclass, field
 from typing import Optional
 
 from ..condor.pool import CondorPool
-from ..condor.schedd import IDLE, JobRecord
+from ..condor.schedd import IDLE, JobRecord, job_tid
+from ..obs import metrics as _metrics
+from ..obs import trace as _trace
 from .packer import DevicePacker, DevicePacking
 
 #: Requirements expression that matches no machine (a parked job).
@@ -155,6 +157,22 @@ class KnapsackClusterScheduler:
         self._index_add(record)
         self.schedd.qedit(record.job_id, "Requirements", PARK_EXPRESSION)
         self._parked.add(record.job_id)
+        self._note_parked(record, reason="submit")
+
+    def _note_parked(self, record: JobRecord, reason: str) -> None:
+        """Observability for a parking edit (no-op when tracing is off)."""
+        tracer = _trace.ACTIVE
+        if tracer is not None:
+            tracer.instant(
+                "parked",
+                "scheduler",
+                self.env.now,
+                tid=job_tid(record),
+                reason=reason,
+            )
+        registry = _metrics.ACTIVE
+        if registry is not None:
+            registry.counter("scheduler.parks").inc()
 
     def _unassigned_pending(self) -> list[JobRecord]:
         """Unassigned idle jobs in FIFO order, from the incremental index.
@@ -229,6 +247,7 @@ class KnapsackClusterScheduler:
             )
             by_id = {record.job_id: record for record in candidates}
             edits = []
+            tracer = _trace.ACTIVE
             for job_id in packing.chosen:
                 record = by_id[job_id]
                 self._assignment[job_id] = key
@@ -236,6 +255,15 @@ class KnapsackClusterScheduler:
                 self._node_active[node] += 1
                 self._pending_index.pop(job_id, None)
                 self._parked.discard(job_id)
+                if tracer is not None:
+                    tracer.instant(
+                        "pinned",
+                        "scheduler",
+                        self.env.now,
+                        tid=job_tid(record),
+                        node=node,
+                        device=device,
+                    )
                 edits.append(
                     (
                         job_id,
@@ -246,6 +274,27 @@ class KnapsackClusterScheduler:
                 edits.append((job_id, "AssignedPhiDevice", str(device)))
             # The paper batches the rewritten requirements to the collector.
             self.schedd.qedit_batch(edits)
+            if tracer is not None:
+                # Packing happens in zero simulated time; the span exists
+                # to put each knapsack fill on the scheduler track.
+                tracer.set_thread_name(_trace.SCHEDULER_TID, "knapsack scheduler")
+                tracer.complete(
+                    "pack-device",
+                    "scheduler",
+                    self.env.now,
+                    self.env.now,
+                    tid=_trace.SCHEDULER_TID,
+                    node=node,
+                    device=device,
+                    chosen=len(packing.chosen),
+                    free_mb=free_mb,
+                )
+            registry = _metrics.ACTIVE
+            if registry is not None:
+                registry.counter("scheduler.packs").inc()
+                registry.counter("scheduler.jobs_assigned").inc(
+                    len(packing.chosen)
+                )
         return len(packing.chosen)
 
     def _park_unassigned(self) -> None:
@@ -256,6 +305,7 @@ class KnapsackClusterScheduler:
             if record.ad.evaluate("Requirements") is not False:
                 edits.append((record.job_id, "Requirements", PARK_EXPRESSION))
             self._parked.add(record.job_id)
+            self._note_parked(record, reason="unassigned")
         if edits:
             self.schedd.qedit_batch(edits)
 
@@ -339,6 +389,7 @@ class KnapsackClusterScheduler:
             self._node_active[node] -= 1
             self._index_add(record)
             self._parked.add(job_id)
+            self._note_parked(record, reason="device-failed")
             edits.append((job_id, "Requirements", PARK_EXPRESSION))
         if edits:
             self.schedd.qedit_batch(edits)
@@ -381,6 +432,7 @@ class KnapsackClusterScheduler:
         self._index_add(record)
         self.schedd.qedit(record.job_id, "Requirements", PARK_EXPRESSION)
         self._parked.add(record.job_id)
+        self._note_parked(record, reason="requeue")
         self._mark_all_online_dirty()
         self._schedule_repack()
 

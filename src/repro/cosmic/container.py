@@ -10,6 +10,7 @@ container kills such jobs before they can endanger their co-residents.
 from __future__ import annotations
 
 from ..mpss.runtime import MemoryLimitExceeded
+from ..obs import metrics as _metrics
 from ..workloads.profiles import JobProfile
 
 
@@ -39,6 +40,9 @@ class DeclaredMemoryEnforcer:
             if profile.job_id not in self._killed:
                 self._killed.add(profile.job_id)
                 self.kills.append(profile.job_id)
+                registry = _metrics.ACTIVE
+                if registry is not None:
+                    registry.counter("container.memory_limit_kills").inc()
             raise MemoryLimitExceeded(
                 profile.job_id, resident_mb, profile.declared_memory_mb
             )

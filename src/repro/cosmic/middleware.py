@@ -24,6 +24,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Optional
 
+from ..obs import metrics as _metrics
 from ..phi.device import XeonPhi
 from ..sim import Container, ContainerGet, Environment
 from .affinity import CoreSetAllocator
@@ -93,6 +94,10 @@ class Cosmic:
         self.stats.peak_concurrent_jobs = max(
             self.stats.peak_concurrent_jobs, self._resident_jobs
         )
+        registry = _metrics.ACTIVE
+        if registry is not None:
+            registry.counter("cosmic.jobs_admitted").inc()
+            self._record_occupancy(registry)
 
     def release_job(self, declared_memory_mb: float) -> None:
         """Return a completed (or killed) job's declared memory."""
@@ -100,6 +105,20 @@ class Cosmic:
         self._memory_pool.put(amount)
         self._resident_jobs -= 1
         self.stats.jobs_released += 1
+        registry = _metrics.ACTIVE
+        if registry is not None:
+            self._record_occupancy(registry)
+
+    def _record_occupancy(self, registry) -> None:
+        """Sample the card's sharing level into the metrics gauges."""
+        now = self.env.now
+        name = self.device.name
+        registry.gauge(f"cosmic.{name}.resident_jobs").record(
+            now, self._resident_jobs
+        )
+        registry.gauge(f"cosmic.{name}.reserved_mb").record(
+            now, self._memory_pool.capacity - self._memory_pool.level
+        )
 
     # -- offload gating (hardware threads) ------------------------------------
 
@@ -121,12 +140,24 @@ class Cosmic:
         self.stats.offloads_gated += 1
         gated = int(self._thread_pool.capacity - self._thread_pool.level)
         self.stats.peak_gated_threads = max(self.stats.peak_gated_threads, gated)
+        registry = _metrics.ACTIVE
+        if registry is not None:
+            registry.counter("cosmic.offloads_gated").inc()
+            registry.gauge(f"cosmic.{self.device.name}.gated_threads").record(
+                self.env.now, gated
+            )
 
     def release(self, threads: int) -> None:
         """OffloadGate: return previously acquired threads."""
         if threads <= 0:
             raise ValueError("threads must be positive")
         self._thread_pool.put(self._clamp_threads(threads))
+        registry = _metrics.ACTIVE
+        if registry is not None:
+            registry.gauge(f"cosmic.{self.device.name}.gated_threads").record(
+                self.env.now,
+                int(self._thread_pool.capacity - self._thread_pool.level),
+            )
 
     @property
     def free_threads(self) -> int:

@@ -44,6 +44,8 @@ from dataclasses import dataclass, field
 from typing import Any, Optional, Sequence, Tuple
 
 from ..cluster import run_configuration
+from ..obs import metrics as _metrics
+from ..obs import trace as _trace
 from .cache import ResultCache
 from .common import make_workload
 
@@ -103,6 +105,15 @@ def sim_task(
 
 def compute_task(task: SimTask) -> Any:
     """Recompute one cell from its parameters (runs in worker processes)."""
+    # Each cell's sim clock restarts at zero, so the tracer and the
+    # metrics registry partition their output per cell. In parallel mode
+    # the workers are separate processes where ACTIVE is None — tracing
+    # is a single-process (--jobs 1) feature, like --profile.
+    label = f"{task.experiment}/{task.label}"
+    if _trace.ACTIVE is not None:
+        _trace.ACTIVE.enter_cell(label)
+    if _metrics.ACTIVE is not None:
+        _metrics.ACTIVE.enter_cell(label)
     if task.kind == "sim":
         p = task.kwargs()
         job_set = make_workload(p["workload"])

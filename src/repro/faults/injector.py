@@ -40,6 +40,8 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Any, Callable, Optional
 
+from ..obs import metrics as _metrics
+from ..obs import trace as _trace
 from ..sim import Environment
 from .errors import JobCrashed, NodeLost
 from .schedule import (
@@ -146,6 +148,23 @@ class FaultInjector:
                 self.applied += 1
             else:
                 self.skipped += 1
+            tracer = _trace.ACTIVE
+            if tracer is not None:
+                tracer.set_thread_name(_trace.FAULTS_TID, "fault injector")
+                tracer.instant(
+                    f"fault:{event.kind}",
+                    "faults",
+                    self.env.now,
+                    tid=_trace.FAULTS_TID,
+                    target=target,
+                    outcome=outcome,
+                )
+            registry = _metrics.ACTIVE
+            if registry is not None:
+                if outcome == "applied":
+                    registry.counter("faults.applied").inc()
+                else:
+                    registry.counter("faults.skipped").inc()
 
     def _heartbeat(self, startd):
         interval = self.schedule.profile.heartbeat_interval_s

@@ -41,6 +41,12 @@ def format_series(
     fmt: str = "{:.0f}",
 ) -> str:
     """Render one-figure data as a table: one x column, one column per line."""
+    for name, values in series.items():
+        if len(values) != len(x_values):
+            raise ValueError(
+                f"series {name!r} has {len(values)} values for "
+                f"{len(x_values)} x values"
+            )
     headers = [x_label, *series.keys()]
     rows = []
     for i, x in enumerate(x_values):

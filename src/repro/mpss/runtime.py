@@ -16,6 +16,8 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Hashable, Optional, Protocol
 
+from ..obs import metrics as _metrics
+from ..obs import trace as _trace
 from ..phi.device import OOMKilled, XeonPhi
 from ..sim import Environment, Interrupt
 from ..workloads.profiles import HostPhase, JobProfile, OffloadPhase
@@ -140,6 +142,9 @@ class OffloadRuntime:
         start = env.now
         offloads_run = 0
         status = "completed"
+        tracer = _trace.ACTIVE
+        parent = tracer.get(("run", owner)) if tracer is not None else None
+        tid = parent.tid if parent is not None else 0
 
         def on_kill(_owner: Hashable) -> None:
             if env.active_process is proc:
@@ -162,7 +167,13 @@ class OffloadRuntime:
             for phase in profile.phases:
                 if isinstance(phase, HostPhase):
                     if phase.duration > 0:
+                        t0 = env.now
                         yield env.timeout(phase.duration)
+                        if tracer is not None:
+                            tracer.complete(
+                                "host-phase", "mpss", t0, env.now,
+                                tid=tid, parent=parent,
+                            )
                     continue
                 assert isinstance(phase, OffloadPhase)
                 # Move input buffers (host-blocking). The buffers land in
@@ -171,7 +182,13 @@ class OffloadRuntime:
                 # (SII-C: stacks and committed blocks persist).
                 in_time = self.scif.transfer_time(phase.transfer_mb / 2.0)
                 if in_time > 0:
+                    t0 = env.now
                     yield env.timeout(in_time)
+                    if tracer is not None:
+                        tracer.complete(
+                            "xfer-in", "mpss", t0, env.now,
+                            tid=tid, parent=parent, mb=phase.transfer_mb / 2.0,
+                        )
                 coi.grow_to(phase.memory_mb)
                 if self.enforcer is not None:
                     self.enforcer.check(profile, coi.resident_mb)
@@ -179,9 +196,20 @@ class OffloadRuntime:
                 if self.gate is not None:
                     pending_grant = self.gate.acquire(phase.threads)
                     grant_threads = phase.threads
+                    gate_start = env.now
                     yield pending_grant
                     pending_grant = None
                     holding_threads = phase.threads
+                    if tracer is not None:
+                        tracer.complete(
+                            "gate-wait", "cosmic", gate_start, env.now,
+                            tid=tid, parent=parent, threads=phase.threads,
+                        )
+                    registry = _metrics.ACTIVE
+                    if registry is not None:
+                        registry.histogram("offload.gate_wait_s").observe(
+                            env.now - gate_start
+                        )
                 try:
                     yield from self.device.run_offload(
                         owner, phase.threads, phase.work
@@ -194,16 +222,28 @@ class OffloadRuntime:
                 # Move output buffers (host-blocking).
                 out_time = self.scif.transfer_time(phase.transfer_mb / 2.0)
                 if out_time > 0:
+                    t0 = env.now
                     yield env.timeout(out_time)
+                    if tracer is not None:
+                        tracer.complete(
+                            "xfer-out", "mpss", t0, env.now,
+                            tid=tid, parent=parent, mb=phase.transfer_mb / 2.0,
+                        )
         except Interrupt as interrupt:
             if isinstance(interrupt.cause, _OOMCause):
                 status = "oom-killed"
+                if tracer is not None:
+                    tracer.instant("oom-killed", "mpss", env.now, tid=tid)
             else:
                 raise
         except OOMKilled:
             status = "oom-killed"
+            if tracer is not None:
+                tracer.instant("oom-killed", "mpss", env.now, tid=tid)
         except MemoryLimitExceeded:
             status = "memory-limit"
+            if tracer is not None:
+                tracer.instant("memory-limit", "mpss", env.now, tid=tid)
         finally:
             # A kill may land while the job queues for the gate: withdraw
             # the pending grant so the gate never hands threads to a corpse.

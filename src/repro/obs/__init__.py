@@ -1,0 +1,52 @@
+"""``repro.obs`` — structured tracing and metrics for the simulator.
+
+A zero-overhead-when-off observability layer on the simulation clock:
+
+* :mod:`repro.obs.trace` — lifecycle spans (submit → queued/parked →
+  matched → dispatch → offload admission/execution → completion, kill
+  or retry), emitted by the Condor, COSMIC, MPSS, Phi and fault layers;
+* :mod:`repro.obs.metrics` — counters / gauges / histograms (queue
+  depth, device occupancy, negotiation cycles, retries) sampled into
+  :class:`~repro.phi.telemetry.StepSeries`;
+* :mod:`repro.obs.export` — Chrome ``trace_event`` JSON (open in
+  ``chrome://tracing`` or Perfetto) and a plain-text run summary.
+
+The CLI wires this up as ``--trace PATH`` / ``--metrics PATH`` (see
+``repro.experiments``); programmatic use mirrors the kernel profiler::
+
+    from repro.obs import trace
+
+    tracer = trace.activate()    # simulations built afterwards emit spans
+    try:
+        ... run simulation ...
+    finally:
+        trace.deactivate()
+    open("trace.json", "w").write(chrome_trace(tracer))
+"""
+
+from .export import chrome_trace, render_summary
+from .metrics import Counter, Histogram, MetricsRegistry
+from .trace import (
+    FAULTS_TID,
+    JOB_TID_BASE,
+    NEGOTIATOR_TID,
+    SCHEDULER_TID,
+    Instant,
+    Span,
+    Tracer,
+)
+
+__all__ = [
+    "Counter",
+    "FAULTS_TID",
+    "Histogram",
+    "Instant",
+    "JOB_TID_BASE",
+    "MetricsRegistry",
+    "NEGOTIATOR_TID",
+    "SCHEDULER_TID",
+    "Span",
+    "Tracer",
+    "chrome_trace",
+    "render_summary",
+]

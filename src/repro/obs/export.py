@@ -1,0 +1,213 @@
+"""Exporters for the observability layer.
+
+Two output shapes:
+
+* :func:`chrome_trace` — the Chrome ``trace_event`` JSON format (the
+  "JSON Array/Object Format"), loadable in ``chrome://tracing`` or
+  https://ui.perfetto.dev. Each simulation cell becomes a trace
+  *process*; the negotiator, the knapsack scheduler, the fault injector
+  and every job get their own named *track*; spans are complete (``X``)
+  events and point events are instants (``i``).
+* :func:`render_summary` — a plain-text run summary of span counts,
+  counters, gauge time-averages and histogram percentiles, suitable for
+  a terminal or a CI log.
+
+Export is deterministic: events are ordered chronologically per cell
+(ties broken by emission order, which the event kernel fixes for a given
+seed), timestamps are simulated microseconds, and the JSON is serialized
+with sorted keys and no whitespace — two runs with the same seed produce
+byte-identical files.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any
+
+from .metrics import MetricsRegistry
+from .trace import Tracer
+
+#: Simulated seconds -> trace microseconds (Chrome's native unit).
+_US = 1e6
+
+
+def _span_events(tracer: Tracer) -> list[dict[str, Any]]:
+    cell_end = {cell.pid: cell.last_time for cell in tracer.cells}
+    events = []
+    for span in tracer.spans:
+        end = span.end if span.end is not None else cell_end[span.pid]
+        event: dict[str, Any] = {
+            "name": span.name,
+            "cat": span.cat,
+            "ph": "X",
+            "ts": span.start * _US,
+            "dur": (end - span.start) * _US,
+            "pid": span.pid,
+            "tid": span.tid,
+        }
+        args = dict(span.args)
+        if span.end is None:
+            args["unfinished"] = True
+        if args:
+            event["args"] = args
+        events.append((span.pid, span.start * _US, span.seq, event))
+    for inst in tracer.instants:
+        event = {
+            "name": inst.name,
+            "cat": inst.cat,
+            "ph": "i",
+            "s": "t",  # thread-scoped instant
+            "ts": inst.time * _US,
+            "pid": inst.pid,
+            "tid": inst.tid,
+        }
+        if inst.args:
+            event["args"] = inst.args
+        events.append((inst.pid, inst.time * _US, inst.seq, event))
+    events.sort(key=lambda item: item[:3])
+    return [event for *_key, event in events]
+
+
+def _metadata_events(tracer: Tracer) -> list[dict[str, Any]]:
+    events = []
+    for cell in tracer.cells:
+        events.append(
+            {
+                "name": "process_name",
+                "ph": "M",
+                "pid": cell.pid,
+                "tid": 0,
+                "args": {"name": cell.label},
+            }
+        )
+        for tid in sorted(cell.thread_names):
+            events.append(
+                {
+                    "name": "thread_name",
+                    "ph": "M",
+                    "pid": cell.pid,
+                    "tid": tid,
+                    "args": {"name": cell.thread_names[tid]},
+                }
+            )
+    return events
+
+
+def chrome_trace(tracer: Tracer) -> str:
+    """Serialize a tracer to Chrome ``trace_event`` JSON."""
+    document = {
+        "displayTimeUnit": "ms",
+        "traceEvents": _metadata_events(tracer) + _span_events(tracer),
+    }
+    return json.dumps(document, sort_keys=True, separators=(",", ":"))
+
+
+# -- plain-text summary ------------------------------------------------------
+
+
+def _table(headers: list[str], rows: list[list[str]]) -> list[str]:
+    widths = [len(h) for h in headers]
+    for row in rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    lines = [
+        "  " + " | ".join(h.ljust(w) for h, w in zip(headers, widths)),
+        "  " + "-+-".join("-" * w for w in widths),
+    ]
+    for row in rows:
+        lines.append("  " + " | ".join(c.ljust(w) for c, w in zip(row, widths)))
+    return lines
+
+
+def _trace_summary(tracer: Tracer) -> list[str]:
+    lines = [
+        f"trace: {len(tracer.spans)} spans, {len(tracer.instants)} instants, "
+        f"{len(tracer.cells)} cell(s)"
+    ]
+    totals: dict[str, tuple[int, float]] = {}
+    cell_end = {cell.pid: cell.last_time for cell in tracer.cells}
+    for span in tracer.spans:
+        end = span.end if span.end is not None else cell_end[span.pid]
+        count, duration = totals.get(span.name, (0, 0.0))
+        totals[span.name] = (count + 1, duration + (end - span.start))
+    rows = [
+        [name, f"{count}", f"{duration:.1f}"]
+        for name, (count, duration) in sorted(totals.items())
+    ]
+    if rows:
+        lines.extend(_table(["span", "count", "sim s (total)"], rows))
+    return lines
+
+
+def _series_stats(series) -> tuple[float, float]:
+    """(last value, exact time-average) of a StepSeries."""
+    if not len(series):
+        return 0.0, 0.0
+    last = series.values[-1]
+    start, end = series.times[0], series.times[-1]
+    if end > start:
+        return last, series.mean(start, end)
+    return last, last
+
+
+def _metrics_summary(registry: MetricsRegistry) -> list[str]:
+    lines: list[str] = []
+    for cell in registry.cells:
+        lines.append(f"cell {cell.label}")
+        if cell.counters:
+            rows = [
+                [name, f"{cell.counters[name].value}"]
+                for name in sorted(cell.counters)
+            ]
+            lines.extend(_table(["counter", "value"], rows))
+        gauges = {**cell.gauges, **cell.adopted}
+        if gauges:
+            rows = []
+            for name in sorted(gauges):
+                last, mean = _series_stats(gauges[name])
+                rows.append(
+                    [name, f"{len(gauges[name])}", f"{last:g}", f"{mean:.2f}"]
+                )
+            lines.extend(_table(["gauge", "steps", "last", "time-mean"], rows))
+        if cell.histograms:
+            rows = []
+            for name in sorted(cell.histograms):
+                hist = cell.histograms[name]
+                obs = hist.observations
+                if obs:
+                    mean = sum(obs) / len(obs)
+                    row = [
+                        name,
+                        f"{len(obs)}",
+                        f"{min(obs):.3g}",
+                        f"{mean:.3g}",
+                        f"{hist.percentile(0.5):.3g}",
+                        f"{hist.percentile(0.95):.3g}",
+                        f"{max(obs):.3g}",
+                    ]
+                else:
+                    row = [name, "0", "-", "-", "-", "-", "-"]
+                rows.append(row)
+            lines.extend(
+                _table(
+                    ["histogram", "count", "min", "mean", "p50", "p95", "max"],
+                    rows,
+                )
+            )
+        lines.append("")
+    return lines
+
+
+def render_summary(
+    tracer: Tracer = None, registry: MetricsRegistry = None
+) -> str:
+    """Plain-text run summary of whichever subsystems were active."""
+    lines: list[str] = ["observability summary " + "-" * 38]
+    if tracer is not None:
+        lines.extend(_trace_summary(tracer))
+        lines.append("")
+    if registry is not None:
+        lines.extend(_metrics_summary(registry))
+    while lines and not lines[-1]:
+        lines.pop()
+    return "\n".join(lines)

@@ -1,0 +1,162 @@
+"""Metrics registry: counters, gauges, and histograms per simulation cell.
+
+The registry complements the tracer: where spans attribute *one job's*
+latency, metrics aggregate across the run — queue depth over time,
+device memory and thread occupancy, matches per negotiation cycle,
+retry counts. Gauges are sampled into
+:class:`~repro.phi.telemetry.StepSeries` on the simulation clock, so the
+summary reports exact time-averages (not poll-rate-dependent samples);
+the registry can also *adopt* the step series the device telemetry layer
+already maintains, which costs nothing extra during the run.
+
+Activation mirrors :mod:`repro.obs.trace`: a module-global
+:data:`ACTIVE`, a single ``is not None`` guard per emission site, zero
+overhead and byte-identical output when off.
+
+Wall-clock durations (the negotiation-cycle duration histogram) are the
+one deliberate exception to sim-time purity: they measure *host* cost,
+as production schedulers do. They live only in metrics — never in the
+trace — so trace export stays byte-deterministic for a fixed seed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+#: The registry emission sites report to (``None`` = metrics off).
+ACTIVE: Optional["MetricsRegistry"] = None
+
+
+class Counter:
+    """A monotonically increasing count."""
+
+    __slots__ = ("value",)
+
+    def __init__(self) -> None:
+        self.value = 0
+
+    def inc(self, amount: int = 1) -> None:
+        self.value += amount
+
+
+class Histogram:
+    """A list of observations, summarized at export time."""
+
+    __slots__ = ("observations",)
+
+    def __init__(self) -> None:
+        self.observations: list[float] = []
+
+    def observe(self, value: float) -> None:
+        self.observations.append(value)
+
+    @property
+    def count(self) -> int:
+        return len(self.observations)
+
+    def percentile(self, q: float) -> float:
+        """Nearest-rank percentile (0 when empty)."""
+        if not self.observations:
+            return 0.0
+        ordered = sorted(self.observations)
+        rank = min(len(ordered) - 1, max(0, int(q * len(ordered))))
+        return ordered[rank]
+
+
+@dataclass
+class CellMetrics:
+    """All metrics recorded during one simulation cell."""
+
+    label: str
+    counters: dict[str, Counter] = field(default_factory=dict)
+    gauges: dict = field(default_factory=dict)  # name -> StepSeries
+    histograms: dict[str, Histogram] = field(default_factory=dict)
+    #: Step series owned by another subsystem (device telemetry),
+    #: referenced here so the summary can report them without
+    #: re-recording a single sample.
+    adopted: dict = field(default_factory=dict)  # name -> StepSeries
+
+
+class MetricsRegistry:
+    """Name-addressed metrics, partitioned per simulation cell."""
+
+    def __init__(self) -> None:
+        self.cells: list[CellMetrics] = [CellMetrics(label="run")]
+
+    @property
+    def cell(self) -> CellMetrics:
+        return self.cells[-1]
+
+    def enter_cell(self, label: str) -> None:
+        """Start a fresh metrics namespace for the next simulation cell.
+
+        Each cell's simulation clock restarts at zero, so gauges must
+        not be shared across cells (a :class:`StepSeries` rejects
+        time going backwards).
+        """
+        current = self.cells[-1]
+        if (
+            current.label == "run"
+            and not current.counters
+            and not current.gauges
+            and not current.histograms
+            and not current.adopted
+        ):
+            current.label = label
+            return
+        self.cells.append(CellMetrics(label=label))
+
+    # -- instruments -------------------------------------------------------
+
+    def counter(self, name: str) -> Counter:
+        cell = self.cells[-1]
+        counter = cell.counters.get(name)
+        if counter is None:
+            counter = cell.counters[name] = Counter()
+        return counter
+
+    def gauge(self, name: str):
+        """A :class:`StepSeries` gauge; record with ``(sim_time, value)``."""
+        cell = self.cells[-1]
+        series = cell.gauges.get(name)
+        if series is None:
+            # Imported lazily: phi.telemetry must stay importable from
+            # layers that also import this module (no import cycle).
+            from ..phi.telemetry import StepSeries
+
+            series = cell.gauges[name] = StepSeries()
+        return series
+
+    def histogram(self, name: str) -> Histogram:
+        cell = self.cells[-1]
+        histogram = cell.histograms.get(name)
+        if histogram is None:
+            histogram = cell.histograms[name] = Histogram()
+        return histogram
+
+    def adopt_series(self, name: str, series) -> None:
+        """Expose an externally-owned StepSeries in the summary."""
+        self.cells[-1].adopted[name] = series
+
+    def __repr__(self) -> str:
+        cell = self.cells[-1]
+        return (
+            f"<MetricsRegistry cells={len(self.cells)} "
+            f"counters={len(cell.counters)} gauges={len(cell.gauges)} "
+            f"histograms={len(cell.histograms)}>"
+        )
+
+
+def activate() -> MetricsRegistry:
+    """Install a fresh registry; emission sites pick it up immediately."""
+    global ACTIVE
+    ACTIVE = MetricsRegistry()
+    return ACTIVE
+
+
+def deactivate() -> Optional[MetricsRegistry]:
+    """Uninstall the active registry and return it (``None`` if none)."""
+    global ACTIVE
+    registry, ACTIVE = ACTIVE, None
+    return registry

@@ -18,6 +18,8 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Any, Callable, Hashable, Optional
 
+from ..obs import metrics as _metrics
+from ..obs import trace as _trace
 from ..sim import Environment, Interrupt
 from .contention import AffinitizedContention, ContentionModel
 from .spec import PAPER_SPEC, XeonPhiSpec
@@ -145,6 +147,18 @@ class XeonPhi:
         self._on_kill: dict[Hashable, Callable[[Hashable], None]] = {}
         self._insertion: dict[Hashable, int] = {}
         self._iseq = 0
+
+        registry = _metrics.ACTIVE
+        if registry is not None:
+            # The device telemetry already maintains exact step series on
+            # the sim clock; adopting them costs nothing during the run.
+            registry.adopt_series(f"phi.{name}.busy_cores", self.telemetry.busy_cores)
+            registry.adopt_series(
+                f"phi.{name}.busy_threads", self.telemetry.busy_threads
+            )
+            registry.adopt_series(
+                f"phi.{name}.resident_memory_mb", self.telemetry.resident_memory_mb
+            )
 
     # -- inspection --------------------------------------------------------
 
@@ -281,6 +295,20 @@ class XeonPhi:
                     victims, key=lambda o: (self._resident[o], -self._insertion[o])
                 )
             self.telemetry.oom_kills += 1
+            registry = _metrics.ACTIVE
+            if registry is not None:
+                registry.counter("phi.oom_kills").inc()
+            tracer = _trace.ACTIVE
+            if tracer is not None:
+                parent = tracer.get(("run", victim))
+                tracer.instant(
+                    "oom-kill",
+                    "phi",
+                    self.env.now,
+                    tid=parent.tid if parent is not None else 0,
+                    device=self.name,
+                    victim=str(victim),
+                )
             self._resident[victim] = 0.0
             self._record_memory()
             callback = self._on_kill.get(victim)
@@ -328,6 +356,20 @@ class XeonPhi:
         self._cores_sum += self.spec.cores_for_threads(threads)
         self._recompute()
         completed = False
+        tracer = _trace.ACTIVE
+        span = None
+        if tracer is not None:
+            parent = tracer.get(("run", owner))
+            span = tracer.begin(
+                "offload",
+                "phi",
+                env.now,
+                tid=parent.tid if parent is not None else 0,
+                parent=parent,
+                device=self.name,
+                threads=threads,
+                work=work,
+            )
         try:
             while task.remaining > _EPS:
                 task.last_update = env.now
@@ -347,6 +389,13 @@ class XeonPhi:
             self._threads_sum -= threads
             self._cores_sum -= self.spec.cores_for_threads(threads)
             self._recompute()
+            if span is not None:
+                tracer.end(span, env.now, completed=completed)
+            registry = _metrics.ACTIVE
+            if registry is not None:
+                registry.counter("phi.offloads").inc()
+                if not completed:
+                    registry.counter("phi.offloads_killed").inc()
             self.offload_log.append(
                 OffloadRecord(
                     owner=owner,

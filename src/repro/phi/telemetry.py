@@ -123,8 +123,16 @@ class StepSeries:
         return total
 
     def mean(self, start: float, end: float) -> float:
-        """Time-average value over ``[start, end]``."""
-        if end <= start:
+        """Time-average value over ``[start, end]``.
+
+        A zero-width window has a well-defined (empty) average of 0.0;
+        an *inverted* window is a caller bug and raises, matching
+        :meth:`integral` — it used to return 0.0 silently, which let
+        swapped arguments masquerade as an idle device.
+        """
+        if end < start:
+            raise ValueError("end must be >= start")
+        if end == start:
             return 0.0
         return self.integral(start, end) / (end - start)
 

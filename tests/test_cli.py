@@ -73,3 +73,52 @@ class TestCLI:
         saved = results / "fig7.txt"
         assert saved.exists()
         assert "Fig. 7" in saved.read_text()
+
+
+class TestObservabilityFlags:
+    """--profile / --trace / --metrics versus explicit parallelism."""
+
+    def test_profile_with_parallel_jobs_is_an_error(self, capsys):
+        # --profile used to silently discard an explicit --jobs 2.
+        with pytest.raises(SystemExit):
+            main(["fig7", "--job-count", "50", "--profile", "--jobs", "2"])
+        assert "--profile" in capsys.readouterr().err
+
+    def test_trace_with_parallel_jobs_is_an_error(self, tmp_path, capsys):
+        with pytest.raises(SystemExit):
+            main([
+                "fig7", "--job-count", "50",
+                "--trace", str(tmp_path / "t.json"), "--jobs", "4",
+            ])
+        assert "--trace" in capsys.readouterr().err
+
+    def test_metrics_with_parallel_jobs_is_an_error(self, tmp_path, capsys):
+        with pytest.raises(SystemExit):
+            main([
+                "fig7", "--job-count", "50",
+                "--metrics", str(tmp_path / "m.txt"), "--jobs", "2",
+            ])
+        assert "--metrics" in capsys.readouterr().err
+
+    def test_explicit_single_job_is_compatible(self, capsys):
+        assert main(["fig7", "--job-count", "50", "--profile", "--jobs", "1"]) == 0
+        assert "sim profiler" in capsys.readouterr().out
+
+    def test_trace_writes_valid_json(self, tmp_path, capsys):
+        path = tmp_path / "trace.json"
+        assert main(["table2", "--job-count", "12", "--trace", str(path)]) == 0
+        assert "[trace:" in capsys.readouterr().out
+        import json
+
+        doc = json.loads(path.read_text())
+        events = doc["traceEvents"]
+        assert any(e["ph"] == "X" for e in events)
+        assert any(e["ph"] == "M" for e in events)
+
+    def test_metrics_writes_summary(self, tmp_path, capsys):
+        path = tmp_path / "metrics.txt"
+        assert main(["table2", "--job-count", "12", "--metrics", str(path)]) == 0
+        assert "[metrics:" in capsys.readouterr().out
+        text = path.read_text()
+        assert "schedd.jobs_submitted" in text
+        assert "observability summary" in text

@@ -115,6 +115,16 @@ class TestReport:
         assert "MC" in text and "MCC" in text
         assert "20" in text and "9" in text
 
+    def test_format_series_length_mismatch_names_series(self):
+        # A short series used to surface as a bare IndexError from deep
+        # inside the row loop; it must be a ValueError naming the series.
+        with pytest.raises(ValueError, match="MCC"):
+            format_series("x", [1, 2, 3], {"MC": [1.0, 2.0, 3.0], "MCC": [1.0]})
+
+    def test_format_series_rejects_long_series_too(self):
+        with pytest.raises(ValueError, match="MC"):
+            format_series("x", [1], {"MC": [1.0, 2.0]})
+
     def test_percent_reduction(self):
         assert percent_reduction(100, 73) == pytest.approx(27.0)
         with pytest.raises(ValueError):

@@ -75,6 +75,14 @@ class TestStepSeries:
         with pytest.raises(ValueError):
             StepSeries().integral(10, 5)
 
+    def test_invalid_mean_bounds(self):
+        # mean and integral agree on inverted windows: both raise (mean
+        # used to return 0.0 silently, hiding swapped arguments).
+        s = StepSeries()
+        s.record(0, 3)
+        with pytest.raises(ValueError):
+            s.mean(10, 5)
+
     def test_iteration(self):
         s = StepSeries()
         s.record(0, 1)
