@@ -1,18 +1,30 @@
 """HTCondor analogue: ClassAds, schedd, collector, negotiator, startd, pool."""
 
-from .ads import DeviceSnapshot, MachineSnapshot, job_ad, machine_ad
+from .ads import (
+    DeviceSnapshot,
+    MachineAdView,
+    MachineSnapshot,
+    job_ad,
+    machine_ad,
+    pin_requirements,
+    slot_name,
+)
 from .classad import (
     ERROR,
     UNDEFINED,
     ClassAd,
     ClassAdError,
+    compilation_enabled,
     parse,
     rank,
+    set_compilation,
     symmetric_match,
 )
 from .collector import Collector
+from .compile import RequirementsPlan, compile_expr, requirements_plan
 from .negotiator import (
     BestFitPlacement,
+    CycleStats,
     ExclusivePlacement,
     Negotiator,
     PinnedPlacement,
@@ -67,6 +79,11 @@ __all__ = [
     "Startd",
     "SubmitError",
     "UNDEFINED",
+    "CycleStats",
+    "MachineAdView",
+    "RequirementsPlan",
+    "compilation_enabled",
+    "compile_expr",
     "format_classad",
     "job_ad",
     "machine_ad",
@@ -75,6 +92,10 @@ __all__ = [
     "parse_classad_text",
     "parse_submit",
     "parse",
+    "pin_requirements",
     "rank",
+    "requirements_plan",
+    "set_compilation",
+    "slot_name",
     "symmetric_match",
 ]

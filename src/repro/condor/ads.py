@@ -10,10 +10,25 @@ the node it selected (``Name == "<slot>@<node>"``).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Optional
+from typing import Callable, Optional
 
 from ..workloads.profiles import JobProfile
-from .classad import ClassAd
+from .classad import MISSING, ClassAd, Expr, Literal, Value, parse
+
+
+def slot_name(node: str) -> str:
+    """The advertised slot name for a node (Condor's ``slot1@host``)."""
+    return f"slot1@{node}"
+
+
+def pin_requirements(node: str) -> str:
+    """The Requirements rewrite that pins a job to ``node``.
+
+    This is the §IV-D qedit payload; the negotiator's pin analysis
+    (:func:`repro.condor.compile.requirements_plan`) recognizes exactly
+    this shape and routes the job through the collector's name index.
+    """
+    return f'TARGET.Name == "{slot_name(node)}" && TARGET.FreeSlots >= 1'
 
 
 @dataclass
@@ -123,60 +138,126 @@ def job_ad(
     return ad
 
 
-#: Memoized machine ads keyed by snapshot contents. The negotiator
-#: rebuilds a node's ad after every deduction, but deductions cycle
-#: through a small set of states (free slots x free declared memory), so
-#: most rebuilds re-derive an ad already built this run. Machine ads are
-#: never mutated after construction (matchmaking only evaluates them),
-#: so sharing one ad between identical snapshots is safe.
-_MACHINE_AD_CACHE: dict[tuple, ClassAd] = {}
-_MACHINE_AD_CACHE_LIMIT = 65536
+# -- live machine-ad views ---------------------------------------------------
+#
+# The negotiator deducts from a MachineSnapshot as it matches jobs within
+# a cycle. Earlier versions rebuilt (or cache-looked-up) a whole dict ad
+# after every deduction; the view below instead *computes* the advertised
+# attributes from the snapshot at read time, so a deduction is visible to
+# the very next probe with zero rebuild cost.
+
+
+def _phi_memory(snapshot: MachineSnapshot) -> float:
+    return float(
+        max((d.memory_mb for d in snapshot.devices if not d.failed), default=0.0)
+    )
+
+
+def _phi_free_memory(snapshot: MachineSnapshot) -> float:
+    return float(
+        max(
+            (d.free_declared_mb for d in snapshot.devices if not d.failed),
+            default=0.0,
+        )
+    )
+
+
+#: Computed machine attributes, keyed lowercase. Failed cards are
+#: invisible: excluded from the device count and the advertised memory,
+#: so matchmaking never routes a job to a node whose only cards are down.
+_COMPUTED: dict[str, Callable[[MachineSnapshot], Value]] = {
+    "name": lambda s: slot_name(s.node),
+    "machine": lambda s: s.node,
+    "totalslots": lambda s: s.total_slots,
+    "freeslots": lambda s: s.free_slots,
+    "phidevices": lambda s: sum(1 for d in s.devices if not d.failed),
+    "phidevicesfree": lambda s: s.devices_free,
+    "phimemory": _phi_memory,
+    "phifreememory": _phi_free_memory,
+}
+
+_COMPUTED_DISPLAY = {
+    "name": "Name",
+    "machine": "Machine",
+    "totalslots": "TotalSlots",
+    "freeslots": "FreeSlots",
+    "phidevices": "PhiDevices",
+    "phidevicesfree": "PhiDevicesFree",
+    "phimemory": "PhiMemory",
+    "phifreememory": "PhiFreeMemory",
+}
+
+#: One shared AST for every machine's Requirements: machines accept any
+#: job whose declared memory fits one card.
+_MACHINE_REQUIREMENTS: Expr = parse("TARGET.RequestPhiMemory <= MY.PhiMemory")
+
+
+class MachineAdView(ClassAd):
+    """A node's advertised ClassAd as a live view over its snapshot.
+
+    Behaves exactly like the dict ad it replaces — same attributes, same
+    values, same Requirements — except reads reflect the snapshot's
+    *current* state, so the negotiator's deduct-then-rematch loop needs
+    no rebuild. Explicitly stored attributes (via ``__setitem__`` /
+    ``set_expr``) shadow computed ones, matching plain-ClassAd override
+    semantics.
+    """
+
+    def __init__(self, snapshot: MachineSnapshot) -> None:
+        super().__init__()
+        self._snapshot = snapshot
+        self._attrs["requirements"] = _MACHINE_REQUIREMENTS
+        self._display["requirements"] = "Requirements"
+
+    def raw(self, key: str):
+        expr = self._attrs.get(key)
+        if expr is not None:
+            return expr.value if type(expr) is Literal else expr
+        fn = _COMPUTED.get(key)
+        if fn is not None:
+            return fn(self._snapshot)
+        return MISSING
+
+    def get_expr(self, name: str):
+        key = name.lower()
+        expr = self._attrs.get(key)
+        if expr is not None:
+            return expr
+        fn = _COMPUTED.get(key)
+        if fn is not None:
+            return Literal(fn(self._snapshot))
+        return None
+
+    def evaluate(self, name: str, target=None):
+        key = name.lower()
+        if key not in self._attrs:
+            fn = _COMPUTED.get(key)
+            if fn is not None:
+                return fn(self._snapshot)
+        return super().evaluate(name, target)
+
+    def __contains__(self, name: str) -> bool:
+        key = name.lower()
+        return key in self._attrs or key in _COMPUTED
+
+    def keys(self) -> list[str]:
+        names = [
+            _COMPUTED_DISPLAY[k] for k in _COMPUTED if k not in self._attrs
+        ]
+        names.extend(self._display[k] for k in self._attrs)
+        return names
+
+    def copy(self) -> ClassAd:
+        # Materialize: a copy is a plain ad frozen at the current state.
+        dup = ClassAd()
+        for key, fn in _COMPUTED.items():
+            if key not in self._attrs:
+                dup[_COMPUTED_DISPLAY[key]] = fn(self._snapshot)
+        dup._attrs.update(self._attrs)
+        dup._display.update(self._display)
+        return dup
 
 
 def machine_ad(snapshot: MachineSnapshot) -> ClassAd:
-    """Build a node's advertised ClassAd from a negotiation snapshot.
-
-    Failed cards are invisible: they are excluded from the device count
-    and from the advertised memory, so matchmaking never routes a job to
-    a node whose only cards are down.
-    """
-    key = (
-        snapshot.node,
-        snapshot.total_slots,
-        snapshot.free_slots,
-        tuple(
-            (
-                d.index,
-                d.memory_mb,
-                d.free_declared_mb,
-                d.resident_jobs,
-                d.claimed_exclusive,
-                d.failed,
-            )
-            for d in snapshot.devices
-        ),
-    )
-    cached = _MACHINE_AD_CACHE.get(key)
-    if cached is not None:
-        return cached
-    usable = [d for d in snapshot.devices if not d.failed]
-    memory = max((d.memory_mb for d in usable), default=0.0)
-    free_declared = max((d.free_declared_mb for d in usable), default=0.0)
-    ad = ClassAd(
-        {
-            "Name": f"slot1@{snapshot.node}",
-            "Machine": snapshot.node,
-            "TotalSlots": snapshot.total_slots,
-            "FreeSlots": snapshot.free_slots,
-            "PhiDevices": len(usable),
-            "PhiDevicesFree": snapshot.devices_free,
-            "PhiMemory": float(memory),
-            "PhiFreeMemory": float(free_declared),
-        }
-    )
-    # Machines accept any job whose declared memory fits one card.
-    ad.set_expr("Requirements", "TARGET.RequestPhiMemory <= MY.PhiMemory")
-    if len(_MACHINE_AD_CACHE) >= _MACHINE_AD_CACHE_LIMIT:
-        _MACHINE_AD_CACHE.clear()
-    _MACHINE_AD_CACHE[key] = ad
-    return ad
+    """A node's advertised ClassAd, as a live view over the snapshot."""
+    return MachineAdView(snapshot)

@@ -50,7 +50,45 @@ UNDEFINED = _Marker("UNDEFINED")
 #: The ClassAd ``error`` value (type errors, division by zero).
 ERROR = _Marker("ERROR")
 
+
+class _MissingType:
+    """Sentinel returned by :meth:`ClassAd.raw` for an absent attribute.
+
+    Distinct from UNDEFINED: an attribute can be *present* with the
+    literal value ``undefined``, and unscoped lookup treats the two
+    differently only in that both fall through to the target ad — the
+    compiled evaluator needs to tell them apart from real values either
+    way, and identity checks against this sentinel are cheaper than
+    exception handling.
+    """
+
+    __slots__ = ()
+
+    def __repr__(self) -> str:
+        return "MISSING"
+
+
+MISSING = _MissingType()
+
 Value = Union[int, float, str, bool, _Marker]
+
+#: Route ``ClassAd.evaluate`` through compiled closures (see
+#: :mod:`repro.condor.compile`). Disabled, every evaluation walks the
+#: interpreted AST exactly as before the compiler existed — the
+#: matchmaking benchmark uses this to measure its baseline, and the
+#: equivalence property tests compare the two modes directly.
+_COMPILE_ENABLED = True
+_compile_expr = None  # lazily bound to compile.compile_expr
+
+
+def set_compilation(enabled: bool) -> None:
+    """Globally enable/disable the compiled evaluation path."""
+    global _COMPILE_ENABLED
+    _COMPILE_ENABLED = bool(enabled)
+
+
+def compilation_enabled() -> bool:
+    return _COMPILE_ENABLED
 
 # ---------------------------------------------------------------------------
 # Lexer
@@ -583,6 +621,8 @@ def parse(text: str) -> Expr:
 class EvalContext:
     """Name resolution for evaluation: (my ad, optional target ad)."""
 
+    __slots__ = ("my", "target", "_depth")
+
     def __init__(self, my: "ClassAd", target: Optional["ClassAd"] = None) -> None:
         self.my = my
         self.target = target
@@ -669,16 +709,50 @@ class ClassAd:
     def get_expr(self, name: str) -> Optional[Expr]:
         return self._attrs.get(name.lower())
 
+    def raw(self, key: str) -> Any:
+        """Low-level read for the compiled evaluator.
+
+        ``key`` must already be lowercase. Returns the literal value for
+        literal-valued attributes, the :class:`Expr` for
+        expression-valued ones (the caller falls back to the interpreted
+        lookup, which owns the circularity guard and role-swap rules),
+        or :data:`MISSING` when the attribute is absent.
+        """
+        expr = self._attrs.get(key)
+        if expr is None:
+            return MISSING
+        if type(expr) is Literal:
+            return expr.value
+        return expr
+
     def keys(self) -> list[str]:
         return [self._display[k] for k in self._attrs]
 
     # -- evaluation ------------------------------------------------------------
 
     def evaluate(self, name: str, target: Optional["ClassAd"] = None) -> Value:
-        """Evaluate attribute ``name`` against an optional target ad."""
-        expr = self.get_expr(name)
+        """Evaluate attribute ``name`` against an optional target ad.
+
+        Routes through the closure compiler (:mod:`repro.condor.compile`)
+        unless :func:`set_compilation` disabled it. Compiled closures are
+        memoized per AST node; ``set_expr`` (condor_qedit) and requeue's
+        ``base_requirements`` restore both *replace* the stored Expr, so
+        a rewritten attribute always compiles (or cache-hits) on its new
+        tree — stale closures are impossible by construction.
+        """
+        expr = self._attrs.get(name.lower())
         if expr is None:
             return UNDEFINED
+        if _COMPILE_ENABLED:
+            if type(expr) is Literal:
+                # No context needed: a literal evaluates to itself.
+                return expr.value
+            global _compile_expr
+            if _compile_expr is None:
+                from .compile import compile_expr as _fn
+
+                _compile_expr = _fn
+            return _compile_expr(expr)(EvalContext(self, target))
         return expr.evaluate(EvalContext(self, target))
 
     def __getitem__(self, name: str) -> Value:

@@ -18,8 +18,13 @@ from __future__ import annotations
 
 from typing import Optional
 
-from .ads import MachineSnapshot
+from .ads import MachineSnapshot, slot_name
 from .startd import Startd
+
+#: Index value for a slot name claimed by several nodes (names differing
+#: only by case collide under the case-insensitive index): the negotiator
+#: must fall back to a full scan rather than pick one arbitrarily.
+AMBIGUOUS_NAME = object()
 
 
 class Collector:
@@ -96,6 +101,27 @@ class Collector:
             for s in self._startds.values()
             if self.is_alive(s.name, now)
         ]
+
+    def indexed_snapshots(
+        self, now: Optional[float] = None
+    ) -> tuple[list[MachineSnapshot], dict[str, object]]:
+        """Snapshots plus a slot-name index for pinned-job routing.
+
+        The index maps each live node's advertised slot name (lowercased
+        — ClassAd string comparison is case-insensitive) to its
+        snapshot. Because every live snapshot appears in the index, a
+        miss proves no machine advertises that name, and a hit is the
+        *only* machine that can satisfy ``TARGET.Name == <literal>``.
+        Should two nodes' names collide after lowercasing, the entry
+        becomes :data:`AMBIGUOUS_NAME` and the negotiator falls back to
+        scanning.
+        """
+        snapshots = self.snapshots(now)
+        index: dict[str, object] = {}
+        for snapshot in snapshots:
+            key = slot_name(snapshot.node).lower()
+            index[key] = AMBIGUOUS_NAME if key in index else snapshot
+        return snapshots, index
 
     def __len__(self) -> int:
         return len(self._startds)

@@ -20,16 +20,43 @@ paper's three configurations differ at the cluster level:
 from __future__ import annotations
 
 import random
+from dataclasses import dataclass
 from time import perf_counter
 from typing import Optional
 
 from ..obs import metrics as _metrics
 from ..obs import trace as _trace
 from ..sim import Environment
+from ..sim import profile as _profile
 from .ads import MachineSnapshot, machine_ad
 from .classad import Literal, symmetric_match
-from .collector import Collector
+from .collector import AMBIGUOUS_NAME, Collector
+from .compile import requirements_plan
 from .schedd import JobRecord, Schedd, job_tid
+
+
+@dataclass
+class CycleStats:
+    """Accounting for one negotiation cycle.
+
+    ``parked + prefiltered + examined`` partitions the pending jobs the
+    cycle looked at before resources ran out: *parked* jobs have
+    statically unmatchable Requirements (the external scheduler's
+    ``false`` rewrite, or none at all), *prefiltered* jobs failed the
+    policy's cheap necessary condition, and *examined* jobs went through
+    full matchmaking — of which ``matched`` succeeded.
+    """
+
+    parked: int = 0
+    prefiltered: int = 0
+    examined: int = 0
+    matched: int = 0
+    #: Machines probed with symmetric ClassAd matchmaking.
+    evals: int = 0
+    #: Examined jobs routed through the collector's name index (O(1)).
+    pin_routed: int = 0
+    #: Examined jobs that scanned every machine snapshot.
+    full_scans: int = 0
 
 
 class PlacementPolicy:
@@ -231,6 +258,7 @@ class Negotiator:
         cycle_interval: float = 15.0,
         reschedule_on_completion: bool = False,
         reschedule_delay: float = 1.0,
+        use_pin_index: bool = True,
     ) -> None:
         """``reschedule_on_completion`` models ``condor_reschedule``: a
         job completion prompts an extra negotiation cycle after
@@ -248,8 +276,16 @@ class Negotiator:
         self.cycle_interval = cycle_interval
         self.reschedule_on_completion = reschedule_on_completion
         self.reschedule_delay = reschedule_delay
+        #: Route jobs whose Requirements pin ``TARGET.Name`` through the
+        #: collector's name index instead of scanning every machine.
+        #: Match decisions are identical either way (the pin literal can
+        #: match at most the indexed machine); the flag exists so the
+        #: benchmark can measure the full-scan baseline.
+        self.use_pin_index = use_pin_index
         self.cycles_run = 0
         self.matches_made = 0
+        #: Accounting for the most recent cycle (None before the first).
+        self.last_cycle: Optional[CycleStats] = None
         self._proc = None
         self._reschedule_pending = False
 
@@ -285,34 +321,62 @@ class Negotiator:
         self.cycles_run += 1
         tracer = _trace.ACTIVE
         registry = _metrics.ACTIVE
+        prof = _profile.ACTIVE
         wall_start = perf_counter() if registry is not None else 0.0
-        examined = 0
-        snapshots = self.collector.snapshots(self.env.now)
-        # Machine ads are rebuilt only when a match changes a snapshot.
+        stats = CycleStats()
+        if self.use_pin_index:
+            snapshots, index = self.collector.indexed_snapshots(self.env.now)
+        else:
+            snapshots = self.collector.snapshots(self.env.now)
+            index = None
+        # Machine ads are live views over the snapshots: a deduction is
+        # visible to the next probe without rebuilding anything.
         ads = {id(snapshot): machine_ad(snapshot) for snapshot in snapshots}
-        matched = 0
+        # Resources only change on deduction, so exhaustion is
+        # recomputed after each match rather than per pending job.
+        exhausted = self.policy.exhausted(snapshots)
+        # The queue walk is the cycle's O(jobs) floor — with 10k+ jobs
+        # parked by the external scheduler, per-record work must stay at
+        # a couple of dict hits. Local counters (folded into ``stats``
+        # below) and bound methods keep attribute traffic off the loop.
+        policy = self.policy
+        prefilter = policy.prefilter
+        parked = prefiltered = examined = 0
         for record in self.schedd.pending():
-            if self.policy.exhausted(snapshots):
+            if exhausted:
                 break
-            req = record.ad.get_expr("Requirements")
-            if isinstance(req, Literal) and req.value is False:
-                # Parked by the external scheduler: skip matchmaking
-                # outright (dominant cost with 10k+ parked jobs queued).
+            req = record.ad._attrs.get("requirements")
+            if req is None:
+                # No Requirements at all: nothing can ever match.
+                parked += 1
+                continue
+            if type(req) is Literal:
+                # Parked by the external scheduler (Requirements
+                # rewritten to ``false``): skip matchmaking outright
+                # without even a plan lookup. ``parse`` memoizes ASTs,
+                # so every parked job shares one Literal node.
+                if req.value is not True:
+                    parked += 1
+                    continue
+            plan = requirements_plan(req)
+            if plan.never_matches:
+                parked += 1
+                continue
+            if not prefilter(record, snapshots):
+                prefiltered += 1
                 continue
             examined += 1
-            if not self.policy.prefilter(record, snapshots):
-                continue
-            placement = self._match(record, snapshots, ads)
+            placement = self._match(record, snapshots, ads, index, plan, stats)
             if placement is None:
                 continue
             snapshot, device_index, exclusive = placement
-            self.policy.deduct(
+            policy.deduct(
                 snapshot,
                 device_index,
                 exclusive,
                 record.profile.declared_memory_mb,
             )
-            ads[id(snapshot)] = machine_ad(snapshot)
+            exhausted = policy.exhausted(snapshots)
             startd = self.collector.startd(snapshot.node)
             if not startd.alive:
                 # The node died inside the staleness window; skip the
@@ -329,8 +393,18 @@ class Negotiator:
                     exclusive=exclusive,
                 )
             startd.start_job(record, device_index, exclusive)
-            matched += 1
+            stats.matched += 1
+        stats.parked = parked
+        stats.prefiltered = prefiltered
+        stats.examined = examined
+        matched = stats.matched
         self.matches_made += matched
+        self.last_cycle = stats
+        if prof is not None:
+            prof.negotiation_cycles += 1
+            prof.match_probes += stats.evals
+            prof.pin_routed += stats.pin_routed
+            prof.full_scans += stats.full_scans
         if tracer is not None:
             # A cycle occupies zero *simulated* time; the span carries
             # its outcome in args (matches, queue examined).
@@ -343,11 +417,17 @@ class Negotiator:
                 tid=_trace.NEGOTIATOR_TID,
                 cycle=self.cycles_run,
                 matches=matched,
-                examined=examined,
+                examined=stats.examined,
             )
         if registry is not None:
             registry.counter("negotiator.cycles").inc()
             registry.counter("negotiator.matches").inc(matched)
+            registry.counter("negotiator.parked").inc(stats.parked)
+            registry.counter("negotiator.prefiltered").inc(stats.prefiltered)
+            registry.counter("negotiator.examined").inc(stats.examined)
+            registry.counter("negotiator.evals").inc(stats.evals)
+            registry.counter("negotiator.pin_hits").inc(stats.pin_routed)
+            registry.counter("negotiator.full_scans").inc(stats.full_scans)
             registry.histogram("negotiator.cycle_matches").observe(matched)
             # The one wall-clock metric: host-side cost of a cycle, as
             # production schedulers report it. Lives only in metrics so
@@ -357,7 +437,24 @@ class Negotiator:
             )
         return matched
 
-    def _match(self, record: JobRecord, snapshots, ads):
+    def _match(self, record: JobRecord, snapshots, ads, index, plan, stats):
+        if index is not None and plan.pin_name is not None:
+            pinned = index.get(plan.pin_name)
+            if pinned is not AMBIGUOUS_NAME:
+                # The index covers every live snapshot, so a miss proves
+                # no machine advertises the pinned name, and a hit is the
+                # only machine that can satisfy ``TARGET.Name == ...`` —
+                # one matchmaking probe replaces the full scan.
+                stats.pin_routed += 1
+                if pinned is None:
+                    return None
+                stats.evals += 1
+                if symmetric_match(record.ad, ads[id(pinned)]):
+                    return self.policy.place(record, [pinned])
+                return None
+            # Two live names collide case-insensitively: scan instead.
+        stats.full_scans += 1
+        stats.evals += len(snapshots)
         candidates = [
             snapshot
             for snapshot in snapshots

@@ -155,6 +155,12 @@ class Schedd:
         # Incremental idle count, kept in lockstep with status changes so
         # the queue-depth gauge never pays a full-queue scan.
         self._idle = 0
+        # Records in FIFO order. ``fifo_key`` is fixed at submission, so
+        # the list only needs re-sorting when a submission arrives out of
+        # key order (a backdated submit_time); the per-cycle ``pending()``
+        # walk then filters without sorting O(jobs) records every cycle.
+        self._fifo: list[JobRecord] = []
+        self._fifo_dirty = False
 
     # -- submission -------------------------------------------------------
 
@@ -178,6 +184,9 @@ class Schedd:
         record.base_requirements = record.ad.get_expr("Requirements")
         record.fifo_key = (profile.submit_time, record.seq)
         self._records[profile.job_id] = record
+        if self._fifo and record.fifo_key < self._fifo[-1].fifo_key:
+            self._fifo_dirty = True
+        self._fifo.append(record)
         self._unfinished += 1
         self._idle += 1
         tracer = _trace.ACTIVE
@@ -224,17 +233,19 @@ class Schedd:
     def get(self, job_id: str) -> JobRecord:
         return self._records[job_id]
 
+    def _fifo_records(self) -> list[JobRecord]:
+        if self._fifo_dirty:
+            self._fifo.sort(key=_FIFO_KEY)
+            self._fifo_dirty = False
+        return self._fifo
+
     def all_records(self) -> list[JobRecord]:
         """Every job ever submitted, in submission order."""
-        records = list(self._records.values())
-        records.sort(key=_FIFO_KEY)
-        return records
+        return list(self._fifo_records())
 
     def pending(self) -> list[JobRecord]:
         """Idle jobs in FIFO order (the negotiator's examination order)."""
-        idle = [r for r in self._records.values() if r.status == IDLE]
-        idle.sort(key=_FIFO_KEY)
-        return idle
+        return [r for r in self._fifo_records() if r.status == IDLE]
 
     def running(self) -> list[JobRecord]:
         return [r for r in self._records.values() if r.status == RUNNING]
@@ -257,7 +268,16 @@ class Schedd:
     # -- qedit -------------------------------------------------------------
 
     def qedit(self, job_id: str, attr: str, expression: str) -> None:
-        """Rewrite one attribute of a *pending* job (``condor_qedit``)."""
+        """Rewrite one attribute of a *pending* job (``condor_qedit``).
+
+        ``set_expr`` *replaces* the stored expression tree, which is
+        what keeps the ClassAd closure compiler honest: compiled
+        closures and negotiator routing plans are memoized per tree
+        (:mod:`repro.condor.compile`), so swapping in a new tree is
+        itself the cache invalidation — the old closure simply becomes
+        unreachable. The same holds for requeue's ``base_requirements``
+        restore.
+        """
         record = self._records[job_id]
         if record.status != IDLE:
             raise ValueError(f"cannot qedit job {job_id!r} in state {record.status}")

@@ -25,7 +25,7 @@ from ..obs import metrics as _metrics
 from ..obs import trace as _trace
 from ..sim import Environment, Interrupt
 from ..workloads.profiles import JobProfile
-from .ads import DeviceSnapshot, MachineSnapshot
+from .ads import DeviceSnapshot, MachineSnapshot, slot_name
 from .schedd import JobRecord, Schedd, job_tid
 
 
@@ -88,6 +88,11 @@ class Startd:
     @property
     def name(self) -> str:
         return self.executor.name
+
+    @property
+    def ad_name(self) -> str:
+        """The slot name this node advertises (``Name`` in its ad)."""
+        return slot_name(self.name)
 
     @property
     def free_slots(self) -> int:

@@ -7,6 +7,7 @@ in examples and when debugging schedules interactively.
 from __future__ import annotations
 
 from ..metrics.report import format_table
+from .ads import slot_name
 from .pool import CondorPool
 from .schedd import COMPLETED, IDLE, RUNNING, Schedd
 
@@ -48,7 +49,7 @@ def condor_status(pool: CondorPool) -> str:
         for device in snapshot.devices:
             rows.append(
                 [
-                    f"slot1@{snapshot.node}",
+                    slot_name(snapshot.node),
                     f"mic{device.index}",
                     f"{snapshot.free_slots}/{snapshot.total_slots}",
                     f"{device.free_declared_mb:.0f}",

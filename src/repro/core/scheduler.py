@@ -22,6 +22,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Optional
 
+from ..condor.ads import pin_requirements
 from ..condor.pool import CondorPool
 from ..condor.schedd import IDLE, JobRecord, job_tid
 from ..obs import metrics as _metrics
@@ -264,13 +265,9 @@ class KnapsackClusterScheduler:
                         node=node,
                         device=device,
                     )
-                edits.append(
-                    (
-                        job_id,
-                        "Requirements",
-                        f'TARGET.Name == "slot1@{node}" && TARGET.FreeSlots >= 1',
-                    )
-                )
+                # The shared helper keeps the qedit payload in the exact
+                # shape the negotiator's pin analysis recognizes.
+                edits.append((job_id, "Requirements", pin_requirements(node)))
                 edits.append((job_id, "AssignedPhiDevice", str(device)))
             # The paper batches the rewritten requirements to the collector.
             self.schedd.qedit_batch(edits)

@@ -48,6 +48,13 @@ class SimProfiler:
         Largest event-queue length observed before a pop.
     telemetry_records:
         ``StepSeries.record`` calls across all series.
+    negotiation_cycles / match_probes / pin_routed / full_scans:
+        Matchmaking: cycles run, machines probed with symmetric ClassAd
+        matchmaking, and how examined jobs were routed — through the
+        collector's O(1) name index versus a scan of every machine.
+    compile_hits / compile_misses:
+        ClassAd closure-compiler cache traffic (see
+        :mod:`repro.condor.compile`).
     """
 
     __slots__ = (
@@ -57,6 +64,12 @@ class SimProfiler:
         "process_switches",
         "heap_peak",
         "telemetry_records",
+        "negotiation_cycles",
+        "match_probes",
+        "pin_routed",
+        "full_scans",
+        "compile_hits",
+        "compile_misses",
         "_started",
         "wall_total",
     )
@@ -68,6 +81,12 @@ class SimProfiler:
         self.process_switches = 0
         self.heap_peak = 0
         self.telemetry_records = 0
+        self.negotiation_cycles = 0
+        self.match_probes = 0
+        self.pin_routed = 0
+        self.full_scans = 0
+        self.compile_hits = 0
+        self.compile_misses = 0
         self._started: Optional[float] = None
         self.wall_total = 0.0
 
@@ -140,6 +159,34 @@ class SimProfiler:
             )
             lines.append(
                 f"{'events/sec':<24}{self.events_per_second():>16,.0f}"
+            )
+        if self.negotiation_cycles or self.compile_misses:
+            per_cycle = (
+                self.match_probes / self.negotiation_cycles
+                if self.negotiation_cycles
+                else 0.0
+            )
+            lines.append("matchmaking " + "-" * 46)
+            lines.append(
+                f"{'negotiation cycles':<24}{self.negotiation_cycles:>16,}"
+            )
+            lines.append(
+                f"{'classad evals':<24}{self.match_probes:>16,}"
+            )
+            lines.append(
+                f"{'evals/cycle':<24}{per_cycle:>16,.1f}"
+            )
+            lines.append(
+                f"{'pinned-route matches':<24}{self.pin_routed:>16,}"
+            )
+            lines.append(
+                f"{'full-scan matches':<24}{self.full_scans:>16,}"
+            )
+            lines.append(
+                f"{'compile cache hits':<24}{self.compile_hits:>16,}"
+            )
+            lines.append(
+                f"{'compile cache misses':<24}{self.compile_misses:>16,}"
             )
         return "\n".join(lines)
 

@@ -8,7 +8,7 @@ import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.condor import ClassAd, parse
+from repro.condor import ClassAd, parse, set_compilation
 from repro.condor.classad import ERROR, UNDEFINED, Expr, Value
 from repro.condor.submit import format_classad, parse_classad_text
 
@@ -59,6 +59,26 @@ def expressions(draw, depth=3):
 _CONTEXT = ClassAd({"Memory": 8192, "Name": "slot1@n0", "Threads": 240,
                     "Busy": False})
 
+#: A nastier target for the compiled-vs-interpreted sweep: attributes
+#: that are expressions (role-swapped evaluation), literally undefined,
+#: and self-referential (depth guard).
+_EXPR_CONTEXT = ClassAd({"Name": "slot1@n0", "Busy": False})
+_EXPR_CONTEXT.set_expr("Memory", "Threads * 34 + 32")
+_EXPR_CONTEXT.set_expr("Threads", "240")
+_EXPR_CONTEXT["Missing"] = UNDEFINED
+
+_LOOP_MY = ClassAd()
+_LOOP_MY.set_expr("Memory", "Memory + 1")  # circular: must yield ERROR
+
+
+def _interpreted(ad, target):
+    """Evaluate ``ad.X`` with the compiled path globally disabled."""
+    set_compilation(False)
+    try:
+        return ad.evaluate("X", target)
+    finally:
+        set_compilation(True)
+
 
 @settings(max_examples=300, deadline=None)
 @given(expressions())
@@ -101,6 +121,43 @@ def test_text_format_roundtrips_literal_ads(attrs):
         assert dup.evaluate(name) == pytest.approx(ad.evaluate(name)) \
             if isinstance(attrs[name], float) \
             else dup.evaluate(name) == ad.evaluate(name)
+
+
+@settings(max_examples=300, deadline=None)
+@given(expressions())
+def test_compiled_evaluator_matches_interpreted(text):
+    """The closure compiler is an exact drop-in for the tree-walker:
+    same values AND same UNDEFINED/ERROR propagation."""
+    ad = ClassAd()
+    ad.set_expr("X", text)
+    for target in (_CONTEXT, _EXPR_CONTEXT, None):
+        assert _norm(ad.evaluate("X", target)) == _norm(_interpreted(ad, target))
+
+
+@settings(max_examples=150, deadline=None)
+@given(expressions())
+def test_compiled_matches_interpreted_with_expression_my_ad(text):
+    """Unscoped references resolving to expression-valued (even circular)
+    my-attributes take the interpreted fallback — still equivalent."""
+    ad = _LOOP_MY.copy()
+    ad.set_expr("X", text)
+    assert _norm(ad.evaluate("X", _CONTEXT)) == _norm(_interpreted(ad, _CONTEXT))
+
+
+@settings(max_examples=150, deadline=None)
+@given(expressions(), expressions())
+def test_qedit_mid_run_swaps_compiled_closure(first, second):
+    """Rewriting an attribute mid-run (condor_qedit) must never serve a
+    stale closure: the post-edit value equals a fresh interpreted
+    evaluation of the new expression."""
+    ad = ClassAd()
+    ad.set_expr("X", first)
+    ad.evaluate("X", _CONTEXT)  # populate the compile cache
+    ad.set_expr("X", second)
+    after = ad.evaluate("X", _CONTEXT)
+    fresh = ClassAd()
+    fresh.set_expr("X", second)
+    assert _norm(after) == _norm(_interpreted(fresh, _CONTEXT))
 
 
 def _assert_classad_value(value: Value) -> None:

@@ -1,0 +1,273 @@
+"""Unit tests for the ClassAd closure compiler and Requirements analysis.
+
+The hypothesis equivalence sweep lives in
+``test_condor_classad_properties.py``; these tests pin down the exact
+semantics the compiler must preserve (three-valued logic, short-circuit,
+C-style division, case-insensitive strings, circularity guard), the pin
+extraction rules, and the caching/invalidation contract.
+"""
+
+import pytest
+
+from repro.condor import ClassAd, parse, set_compilation
+from repro.condor.classad import ERROR, MISSING, UNDEFINED, EvalContext, Literal
+from repro.condor.compile import (
+    cache_info,
+    compile_expr,
+    requirements_plan,
+)
+
+_TARGET = ClassAd({"Memory": 8192, "Name": "slot1@n0", "Threads": 240,
+                   "Busy": False})
+
+
+def _interpreted(text, my=None, target=_TARGET):
+    return parse(text).evaluate(EvalContext(my or ClassAd(), target))
+
+
+def _compiled(text, my=None, target=_TARGET):
+    return compile_expr(parse(text))(EvalContext(my or ClassAd(), target))
+
+
+def _norm(value):
+    if value is UNDEFINED:
+        return "UNDEF"
+    if value is ERROR:
+        return "ERR"
+    return value
+
+
+class TestCompiledSemantics:
+    @pytest.mark.parametrize(
+        "text",
+        [
+            # three-valued logic and short-circuit
+            "false && undefined",
+            "undefined && false",
+            "true || undefined",
+            "undefined || true",
+            "undefined && true",
+            "undefined || false",
+            "1 && true",
+            "undefined && 1",
+            "undefined || 2",
+            # strict operators propagate markers
+            "undefined + 1",
+            "1 - undefined",
+            "-undefined",
+            "!undefined",
+            "!3",
+            # arithmetic edge cases
+            "3 / 0",
+            "3.0 / 0",
+            "7 / 2",
+            "-7 / 2",
+            "true + 1",
+            '"a" + "b"',
+            '"a" + 1',
+            # comparisons: case-insensitive strings, bools aren't numbers
+            '"ABC" == "abc"',
+            '"abc" < "ABD"',
+            "true == 1",
+            "true == true",
+            "2 == 2.0",
+            '1 < "2"',
+            # meta-equality never yields UNDEFINED
+            "undefined =?= undefined",
+            "error =?= error",
+            "undefined =!= 1",
+            '"A" =?= "a"',
+            "1 =?= true",
+            # ternary
+            "undefined ? 1 : 2",
+            "3 ? 1 : 2",
+            "(1 < 2) ? 10 : 20",
+            # builtins and unknown functions
+            "floor(3.7)",
+            "isUndefined(Missing)",
+            "toLower(5)",
+            "bogus(3 / 0)",
+            # attribute references against the target ad
+            "Memory / Threads",
+            "TARGET.Memory + 1",
+            "MY.Memory + 1",
+            "TARGET.Name == \"SLOT1@N0\"",
+            "Missing == 1",
+        ],
+    )
+    def test_matches_interpreter(self, text):
+        assert _norm(_compiled(text)) == _norm(_interpreted(text))
+
+    def test_unscoped_undefined_my_attr_falls_through_to_target(self):
+        # The my ad *defines* the attribute as literally undefined; the
+        # unscoped lookup must still fall through to the target's value.
+        my = ClassAd()
+        my["Memory"] = UNDEFINED
+        assert _compiled("Memory", my=my) == _interpreted("Memory", my=my) == 8192
+
+    def test_my_scope_does_not_fall_through(self):
+        my = ClassAd()
+        my["Memory"] = UNDEFINED
+        assert _compiled("MY.Memory", my=my) is UNDEFINED
+
+    def test_expression_valued_attribute_uses_interpreted_lookup(self):
+        my = ClassAd()
+        my.set_expr("Derived", "TARGET.Memory / 2")
+        assert _compiled("Derived", my=my) == 4096
+
+    def test_circular_attributes_hit_depth_guard(self):
+        my = ClassAd()
+        my.set_expr("A", "B")
+        my.set_expr("B", "A")
+        assert my.evaluate("A") is ERROR
+
+    def test_no_target_means_target_refs_undefined(self):
+        assert _compiled("TARGET.Memory", target=None) is UNDEFINED
+
+    def test_evaluate_literal_fast_path(self):
+        ad = ClassAd({"X": 7})
+        assert ad.evaluate("X") == 7
+        assert ad["X"] == 7
+
+    def test_set_compilation_toggle_round_trip(self):
+        ad = ClassAd({"M": 10})
+        ad.set_expr("X", "M * 3")
+        try:
+            set_compilation(False)
+            interpreted = ad.evaluate("X")
+        finally:
+            set_compilation(True)
+        assert interpreted == ad.evaluate("X") == 30
+
+
+class TestConstantFolding:
+    def test_constant_expression_folds_to_literal_closure(self):
+        fn = compile_expr(parse("(2 * 3 + 1) < 10"))
+        assert fn(EvalContext(ClassAd())) is True
+
+    def test_folding_preserves_error(self):
+        fn = compile_expr(parse("1 / 0 > 2"))
+        assert fn(EvalContext(ClassAd())) is ERROR
+
+    def test_decisive_constant_left_short_circuits(self):
+        # false && <attr> folds to False without touching the attr.
+        fn = compile_expr(parse("false && Missing"))
+        assert fn(EvalContext(ClassAd())) is False
+        fn = compile_expr(parse("true || Missing"))
+        assert fn(EvalContext(ClassAd())) is True
+
+
+class TestRequirementsPlan:
+    def test_park_expression_never_matches(self):
+        assert requirements_plan(parse("false")).never_matches
+
+    def test_constant_not_true_never_matches(self):
+        assert requirements_plan(parse("2 > 3")).never_matches
+        assert requirements_plan(parse("1 / 0")).never_matches
+        assert requirements_plan(parse("42")).never_matches
+
+    def test_constant_true_matches(self):
+        assert not requirements_plan(parse("true")).never_matches
+
+    def test_general_expression_is_not_static(self):
+        plan = requirements_plan(parse("TARGET.FreeSlots >= 1"))
+        assert not plan.never_matches
+        assert plan.pin_name is None
+
+    @pytest.mark.parametrize(
+        "text",
+        [
+            'TARGET.Name == "slot1@n3"',
+            '"slot1@n3" == TARGET.Name',
+            'TARGET.Name == "slot1@n3" && TARGET.FreeSlots >= 1',
+            'TARGET.FreeSlots >= 1 && TARGET.Name == "slot1@n3"',
+            'A && (B && TARGET.Name == "slot1@n3")',
+            'TARGET.Name == "SLOT1@N3"',  # lowered: compare is case-insensitive
+        ],
+    )
+    def test_pin_extracted(self, text):
+        assert requirements_plan(parse(text)).pin_name == "slot1@n3"
+
+    @pytest.mark.parametrize(
+        "text",
+        [
+            'Name == "slot1@n3"',          # unscoped: MY could define Name
+            'MY.Name == "slot1@n3"',
+            'TARGET.Name != "slot1@n3"',
+            'TARGET.Name == 3',
+            'TARGET.Name == "a" || TARGET.FreeSlots >= 1',  # disjunction
+            'TARGET.Machine == "n3"',
+            'TARGET.Name =?= "slot1@n3"',
+        ],
+    )
+    def test_pin_not_extracted(self, text):
+        assert requirements_plan(parse(text)).pin_name is None
+
+    def test_scheduler_emitted_pin_shape(self):
+        from repro.condor import pin_requirements
+
+        plan = requirements_plan(parse(pin_requirements("node7")))
+        assert plan.pin_name == "slot1@node7"
+        assert not plan.never_matches
+
+
+class TestCaching:
+    def test_same_source_shares_one_closure(self):
+        # parse() memoizes ASTs per source string, and compile memoizes
+        # per AST, so equal strings compile exactly once.
+        a = compile_expr(parse("Memory > 4096 && Threads < 300"))
+        b = compile_expr(parse("Memory > 4096 && Threads < 300"))
+        assert a is b
+
+    def test_cache_counts_hits_and_misses(self):
+        before = cache_info()
+        compile_expr(parse("Threads * 1234 + 9"))
+        compile_expr(parse("Threads * 1234 + 9"))
+        after = cache_info()
+        assert after["misses"] > before["misses"]
+        assert after["hits"] > before["hits"]
+
+    def test_qedit_style_replacement_recompiles(self):
+        ad = ClassAd()
+        ad.set_expr("Requirements", "TARGET.FreeSlots >= 1")
+        first = ad.evaluate("Requirements", _TARGET)
+        assert first is UNDEFINED  # _TARGET advertises no FreeSlots
+        ad.set_expr("Requirements", 'TARGET.Name == "slot1@n0"')
+        assert ad.evaluate("Requirements", _TARGET) is True
+        ad.set_expr("Requirements", "false")
+        assert ad.evaluate("Requirements", _TARGET) is False
+
+    def test_plan_follows_replaced_tree(self):
+        ad = ClassAd()
+        ad.set_expr("Requirements", 'TARGET.Name == "slot1@n1"')
+        assert (
+            requirements_plan(ad.get_expr("Requirements")).pin_name == "slot1@n1"
+        )
+        ad.set_expr("Requirements", "false")
+        assert requirements_plan(ad.get_expr("Requirements")).never_matches
+
+
+class TestRawProtocol:
+    def test_raw_returns_literal_value(self):
+        ad = ClassAd({"X": 5})
+        assert ad.raw("x") == 5
+
+    def test_raw_returns_expr_for_expressions(self):
+        ad = ClassAd()
+        ad.set_expr("X", "1 + Y")
+        assert not isinstance(ad.raw("x"), (int, float))
+        assert ad.raw("x") is not MISSING
+
+    def test_raw_missing_sentinel(self):
+        assert ClassAd().raw("nope") is MISSING
+
+    def test_raw_distinguishes_missing_from_undefined(self):
+        ad = ClassAd({"X": UNDEFINED})
+        assert ad.raw("x") is UNDEFINED
+        assert ad.raw("y") is MISSING
+
+    def test_literal_fast_path_type_check_is_exact(self):
+        # Stored bools must come back as bools (not ints) through raw.
+        ad = ClassAd({"B": True})
+        assert ad.raw("b") is True
+        assert type(parse("true")) is Literal

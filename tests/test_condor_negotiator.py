@@ -4,16 +4,24 @@ import random
 
 import pytest
 
+from repro.cluster import ComputeNode
 from repro.condor import (
+    Collector,
     DeviceSnapshot,
     ExclusivePlacement,
     MachineSnapshot,
+    Negotiator,
     PinnedPlacement,
     RandomPlacement,
+    Schedd,
+    Startd,
     job_ad,
     machine_ad,
+    pin_requirements,
     symmetric_match,
 )
+from repro.condor.collector import AMBIGUOUS_NAME
+from repro.sim import Environment
 from repro.workloads import HostPhase, JobProfile, OffloadPhase
 
 
@@ -97,6 +105,54 @@ class TestAds:
         big = record(memory=9000, memory_aware=False)
         assert not symmetric_match(big.ad, machine)
 
+    def test_machine_ad_is_a_live_view(self):
+        # Deductions show through without rebuilding the ad.
+        snap = snapshot(free_slots=3, free_mb=5000)
+        ad = machine_ad(snap)
+        assert ad.evaluate("FreeSlots") == 3
+        snap.free_slots -= 1
+        snap.devices[0].free_declared_mb -= 2000.0
+        assert ad.evaluate("FreeSlots") == 2
+        assert ad.evaluate("PhiFreeMemory") == 3000.0
+
+    def test_live_view_drives_rematch_after_deduction(self):
+        snap = snapshot(free_mb=5000)
+        ad = machine_ad(snap)
+        rec = record(memory=4000, memory_aware=True)
+        assert symmetric_match(rec.ad, ad)
+        RandomPlacement(random.Random(0)).deduct(snap, 0, False, 4000.0)
+        assert not symmetric_match(rec.ad, ad)
+
+    def test_failed_devices_invisible_in_view(self):
+        snap = snapshot()
+        snap.devices[0].failed = True
+        ad = machine_ad(snap)
+        assert ad.evaluate("PhiDevices") == 0
+        assert ad.evaluate("PhiMemory") == 0.0
+        assert ad.evaluate("PhiFreeMemory") == 0.0
+
+    def test_view_copy_freezes_current_state(self):
+        snap = snapshot(free_slots=3)
+        frozen = machine_ad(snap).copy()
+        snap.free_slots = 0
+        assert frozen.evaluate("FreeSlots") == 3
+        assert frozen.evaluate("Requirements", record().ad) is True
+
+    def test_view_mapping_protocol(self):
+        ad = machine_ad(snapshot())
+        assert "FreeSlots" in ad
+        assert "Requirements" in ad
+        assert "Nope" not in ad
+        assert set(ad.keys()) == {
+            "Name", "Machine", "TotalSlots", "FreeSlots", "PhiDevices",
+            "PhiDevicesFree", "PhiMemory", "PhiFreeMemory", "Requirements",
+        }
+
+    def test_explicit_set_shadows_computed(self):
+        ad = machine_ad(snapshot(free_slots=4))
+        ad["FreeSlots"] = 0
+        assert ad.evaluate("FreeSlots") == 0
+
 
 class TestExclusivePlacement:
     def test_first_fit(self):
@@ -163,6 +219,121 @@ class TestRandomPlacement:
         assert snap.devices[0].free_declared_mb == 3000
         assert snap.devices[0].resident_jobs == 1
         assert snap.free_slots == 3
+
+
+def _pool(env, policy, nodes=3, slots=4, use_pin_index=True):
+    schedd = Schedd(env)
+    collector = Collector()
+    for i in range(nodes):
+        collector.register(
+            Startd(env, schedd, ComputeNode(env, f"n{i}", mode="cosmic"),
+                   slots=slots)
+        )
+    negotiator = Negotiator(env, schedd, collector, policy,
+                            use_pin_index=use_pin_index)
+    return schedd, collector, negotiator
+
+
+class TestNegotiatorRouting:
+    def test_pinned_jobs_take_the_index_path(self):
+        env = Environment()
+        schedd, _, negotiator = _pool(env, PinnedPlacement())
+        for i in range(4):
+            schedd.submit(make_profile(f"j{i}"))
+            schedd.qedit(f"j{i}", "Requirements", pin_requirements(f"n{i % 3}"))
+        assert negotiator.negotiate_once() == 4
+        stats = negotiator.last_cycle
+        assert stats.pin_routed == 4
+        assert stats.full_scans == 0
+        assert stats.evals == 4  # one probe per job, not one per machine
+        assert stats.examined == 4
+        assert stats.matched == 4
+        assert [schedd.get(f"j{i}").matched_node for i in range(4)] \
+            == ["n0", "n1", "n2", "n0"]
+
+    def test_index_off_gives_identical_matches(self):
+        results = []
+        for use_index in (True, False):
+            env = Environment()
+            schedd, _, negotiator = _pool(env, PinnedPlacement(),
+                                          use_pin_index=use_index)
+            for i in range(5):
+                schedd.submit(make_profile(f"j{i}"))
+                schedd.qedit(f"j{i}", "Requirements",
+                             pin_requirements(f"n{i % 3}"))
+            negotiator.negotiate_once()
+            results.append([schedd.get(f"j{i}").matched_node
+                            for i in range(5)])
+        assert results[0] == results[1]
+        assert results[0] == ["n0", "n1", "n2", "n0", "n1"]
+
+    def test_full_scan_counts_every_machine(self):
+        env = Environment()
+        schedd, _, negotiator = _pool(
+            env, RandomPlacement(random.Random(0)), nodes=3,
+        )
+        schedd.submit(make_profile("j0"))
+        assert negotiator.negotiate_once() == 1
+        stats = negotiator.last_cycle
+        assert stats.full_scans == 1
+        assert stats.pin_routed == 0
+        assert stats.evals == 3
+
+    def test_pin_to_unknown_node_matches_nothing(self):
+        env = Environment()
+        schedd, _, negotiator = _pool(env, PinnedPlacement())
+        schedd.submit(make_profile("ghost"))
+        schedd.qedit("ghost", "Requirements", pin_requirements("nowhere"))
+        assert negotiator.negotiate_once() == 0
+        stats = negotiator.last_cycle
+        assert stats.pin_routed == 1
+        assert stats.evals == 0  # the index miss is the proof; no probes
+        assert schedd.get("ghost").status == "Idle"
+
+    def test_case_colliding_names_fall_back_to_scan(self):
+        env = Environment()
+        schedd, collector, negotiator = _pool(env, PinnedPlacement(), nodes=1)
+        collector.register(
+            Startd(env, schedd, ComputeNode(env, "N0", mode="cosmic"), slots=4)
+        )
+        _, index = collector.indexed_snapshots()
+        assert index["slot1@n0"] is AMBIGUOUS_NAME
+        schedd.submit(make_profile("j0"))
+        schedd.qedit("j0", "Requirements", pin_requirements("n0"))
+        assert negotiator.negotiate_once() == 1
+        stats = negotiator.last_cycle
+        assert stats.full_scans == 1
+        assert stats.pin_routed == 0
+
+    def test_accounting_is_a_coherent_partition(self):
+        env = Environment()
+        schedd, _, negotiator = _pool(
+            env, RandomPlacement(random.Random(1), memory_aware=True), nodes=2,
+        )
+        schedd.submit(make_profile("ok", memory=1000))       # examined+matched
+        schedd.submit(make_profile("big", memory=9000))      # prefiltered
+        schedd.submit(make_profile("parked"))                # parked
+        schedd.qedit("parked", "Requirements", "false")
+        schedd.submit(make_profile("ok2", memory=1000))      # examined+matched
+        matched = negotiator.negotiate_once()
+        stats = negotiator.last_cycle
+        assert matched == stats.matched == 2
+        assert stats.parked == 1
+        assert stats.prefiltered == 1
+        assert stats.examined == 2
+        # The partition covers exactly the pending queue walked.
+        assert stats.parked + stats.prefiltered + stats.examined == 4
+        assert stats.matched <= stats.examined
+
+    def test_collector_index_covers_all_live_nodes(self):
+        env = Environment()
+        _, collector, _ = _pool(env, PinnedPlacement(), nodes=3)
+        snapshots, index = collector.indexed_snapshots()
+        assert len(snapshots) == 3
+        assert sorted(index) == ["slot1@n0", "slot1@n1", "slot1@n2"]
+        collector.deregister("n1")
+        snapshots, index = collector.indexed_snapshots()
+        assert sorted(index) == ["slot1@n0", "slot1@n2"]
 
 
 class TestPinnedPlacement:
