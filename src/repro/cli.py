@@ -50,6 +50,7 @@ _FULL_JOBS = {
     "ext-capacity": 400,
     "ext-faults": 200,
     "ext-multidevice": 400,
+    "ext-netchaos": 200,
     "ext-oversubscription": None,
     "ext-replication": 400,
 }
@@ -70,8 +71,20 @@ _QUICK_JOBS = {
     "ext-capacity": 120,
     "ext-faults": 60,
     "ext-multidevice": 120,
+    "ext-netchaos": 60,
     "ext-oversubscription": None,
     "ext-replication": 60,
+}
+
+#: Which experiments consume each experiment-specific flag. A flag
+#: passed with a selection that includes no consumer is an error (the
+#: run would silently ignore it); a selection that merely includes
+#: non-consumers too (e.g. ``all``) gets a warning.
+_FLAG_CONSUMERS = {
+    "--fault-rate": {"ext-faults"},
+    "--net-loss": {"ext-netchaos"},
+    "--net-delay": {"ext-netchaos"},
+    "--net-partition": {"ext-netchaos"},
 }
 
 #: fig10's per-node pressure at scale 1.0 (see the module).
@@ -88,16 +101,27 @@ def _experiment_kwargs(
     seed: int,
     scale: float,
     fault_rates: Optional[Sequence[float]] = None,
+    net_losses: Optional[Sequence[float]] = None,
+    net_delay: Optional[float] = None,
+    net_partitions: Sequence = (),
 ) -> dict:
     """Keyword arguments for one experiment's task grid.
 
     ``jobs`` is the explicit ``--job-count`` override; otherwise the
     quick/full table entry scaled by ``REPRO_SCALE``. ``fault_rates``
-    (from ``--fault-rate``) only applies to ext-faults.
+    (from ``--fault-rate``) only applies to ext-faults; the ``--net-*``
+    knobs only to ext-netchaos (see ``_FLAG_CONSUMERS``).
     """
     kwargs: dict = {"seed": seed}
     if name == "ext-faults" and fault_rates:
         kwargs["rates"] = tuple(fault_rates)
+    if name == "ext-netchaos":
+        if net_losses:
+            kwargs["losses"] = tuple(net_losses)
+        if net_partitions:
+            kwargs["partitions"] = tuple(net_partitions)
+        if net_delay is not None:
+            kwargs["delay_s"] = net_delay
     if name == "ext-oversubscription":
         return kwargs  # exact experiment: no job count to scale
     if jobs is not None:
@@ -177,6 +201,33 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "derived from --seed.",
     )
     parser.add_argument(
+        "--net-loss", type=float, action="append", default=None,
+        dest="net_losses", metavar="P",
+        help="ext-netchaos: per-message loss probability in [0, 1); repeat "
+        "for a sweep (default: 0 0.02 0.05 0.1). 0 runs without a fabric. "
+        "The fabric seed is derived from --seed.",
+    )
+    parser.add_argument(
+        "--net-delay", type=float, default=None, metavar="SECONDS",
+        help="ext-netchaos: base one-way message delay for fabric cells "
+        "(default: 0.05)",
+    )
+    parser.add_argument(
+        "--net-partition", action="append", default=None,
+        dest="net_partitions", metavar="START:END:PATTERN",
+        help="ext-netchaos: scripted partition window cutting endpoints "
+        "matching PATTERN ('schedd', 'startd:*', '*') off the network "
+        "between START and END seconds; repeatable",
+    )
+    parser.add_argument(
+        "--audit", action="store_true",
+        help="run the runtime invariant auditor over every cell: each "
+        "submitted job gets exactly one terminal outcome, no slot is "
+        "double-claimed, no job runs on two nodes, device memory never "
+        "goes negative, and claim/lease ledgers reconcile at cell end "
+        "(violations raise; implies --jobs 1 and --no-cache)",
+    )
+    parser.add_argument(
         "--no-cache", action="store_true",
         help="recompute every cell; do not read or write the result cache",
     )
@@ -212,12 +263,56 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         parser.error("--jobs must be >= 1")
     if args.fault_rates and any(rate < 0 for rate in args.fault_rates):
         parser.error("--fault-rate must be non-negative")
+    if args.net_losses and any(
+        not 0.0 <= loss < 1.0 for loss in args.net_losses
+    ):
+        parser.error("--net-loss must be in [0, 1)")
+    if args.net_delay is not None and args.net_delay < 0:
+        parser.error("--net-delay must be non-negative")
+    partitions = ()
+    if args.net_partitions:
+        from .net import parse_partition
+
+        try:
+            partitions = tuple(
+                parse_partition(spec) for spec in args.net_partitions
+            )
+        except ValueError as exc:
+            parser.error(f"--net-partition: {exc}")
+
+    requested = (
+        set(EXPERIMENTS) if args.experiment == "all" else {args.experiment}
+    )
+    passed_flags = {
+        "--fault-rate": bool(args.fault_rates),
+        "--net-loss": bool(args.net_losses),
+        "--net-delay": args.net_delay is not None,
+        "--net-partition": bool(args.net_partitions),
+    }
+    for flag, on in passed_flags.items():
+        if not on:
+            continue
+        consumers = _FLAG_CONSUMERS[flag]
+        if not requested & consumers:
+            parser.error(
+                f"{flag} only applies to {'/'.join(sorted(consumers))}, "
+                f"which the requested selection does not include"
+            )
+        if requested - consumers:
+            print(
+                f"[warning: {flag} only affects "
+                f"{'/'.join(sorted(consumers))}; the other requested "
+                f"experiments ignore it]",
+                file=sys.stderr,
+            )
+
     observing = [
         flag
         for flag, on in (
             ("--profile", args.profile),
             ("--trace", args.trace is not None),
             ("--metrics", args.metrics is not None),
+            ("--audit", args.audit),
         )
         if on
     ]
@@ -251,7 +346,11 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         if base is None and table[name] is not None:
             base = scaled(table[name], scale) if scale != 1.0 else table[name]
         kwargs = _experiment_kwargs(
-            name, base, args.seed, scale, fault_rates=args.fault_rates
+            name, base, args.seed, scale,
+            fault_rates=args.fault_rates,
+            net_losses=args.net_losses,
+            net_delay=args.net_delay,
+            net_partitions=partitions,
         )
         plans.append((name, kwargs, _grid_for(name, kwargs)))
 
@@ -270,6 +369,11 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         from .obs import metrics as obs_metrics
 
         registry = obs_metrics.activate()
+    auditor = None
+    if args.audit:
+        from .obs import audit as obs_audit
+
+        auditor = obs_audit.activate()
 
     started = time.perf_counter()
     try:
@@ -289,6 +393,10 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             from .obs import metrics as obs_metrics
 
             obs_metrics.deactivate()
+        if auditor is not None:
+            from .obs import audit as obs_audit
+
+            obs_audit.deactivate()
     wall = time.perf_counter() - started
 
     offset = 0
@@ -333,6 +441,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         with open(args.metrics, "w") as fh:
             fh.write(render_summary(tracer, registry) + "\n")
         print(f"[metrics: {len(registry.cells)} cell(s) -> {args.metrics}]")
+    if auditor is not None:
+        print(auditor.render())
     return 0
 
 

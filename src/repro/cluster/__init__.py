@@ -6,6 +6,7 @@ from .validate import (
     Violation,
     validate_devices,
     validate_exclusive,
+    validate_fabric,
     validate_pool,
 )
 from .simulation import (
@@ -34,5 +35,6 @@ __all__ = [
     "run_mcck",
     "validate_devices",
     "validate_exclusive",
+    "validate_fabric",
     "validate_pool",
 ]

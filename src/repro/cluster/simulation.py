@@ -27,6 +27,7 @@ from ..condor import (
 from ..core import DevicePacker, KnapsackClusterScheduler
 from ..faults import FaultInjector, FaultProfile, FaultSchedule
 from ..mpss import JobRunResult, SCIFModel
+from ..net.profile import NetProfile
 from ..phi import PAPER_SPEC, XeonPhiSpec
 from ..sim import Environment
 from ..workloads.profiles import JobProfile
@@ -91,6 +92,18 @@ class SimulationResult:
     retried_completed: int = 0
     #: Fault events actually applied by the injector (0 without faults).
     faults_injected: int = 0
+    #: Fabric traffic (all zero when the run had no message fabric).
+    net_messages: int = 0
+    net_retransmits: int = 0
+    net_duplicates_dropped: int = 0
+    #: Startd-side lease expiries (jobs killed for lost renewals).
+    lease_expiries: int = 0
+    #: Schedd-side claims declared lost after the renewal drain.
+    claims_lost: int = 0
+    #: Claim activations the startds turned down.
+    claims_rejected: int = 0
+    #: Matches the schedd gave up on before the activation round-tripped.
+    match_timeouts: int = 0
 
     @property
     def mean_core_utilization(self) -> float:
@@ -114,6 +127,8 @@ def _build(
     mode: str,
     policy: PlacementPolicy,
     faults: Optional[FaultProfile] = None,
+    net: Optional[NetProfile] = None,
+    net_seed: int = 0,
 ) -> tuple[Environment, CondorPool, list[ComputeNode]]:
     env = Environment()
     nodes = [
@@ -130,9 +145,11 @@ def _build(
     ]
     # Heartbeat staleness only matters under faults; a fault-free pool
     # keeps the collector's default (always-fresh) behaviour so outputs
-    # stay byte-identical with the pre-fault subsystem.
+    # stay byte-identical with the pre-fault subsystem. Under a message
+    # fabric the profile's own heartbeat_timeout_s wins (machine-updates
+    # over the network are the liveness signal).
     heartbeat_timeout = None
-    if faults is not None and not faults.is_null:
+    if net is None and faults is not None and not faults.is_null:
         heartbeat_timeout = 3.0 * faults.heartbeat_interval_s
     pool = CondorPool(
         env,
@@ -143,6 +160,8 @@ def _build(
         dispatch_latency=config.dispatch_latency,
         reschedule_on_completion=config.reschedule_on_completion,
         heartbeat_timeout=heartbeat_timeout,
+        net=net,
+        net_seed=net_seed,
     )
     _validate_jobs(jobs, config)
     pool.submit(list(jobs))
@@ -210,6 +229,18 @@ def _collect(
         if record.status == COMPLETED and record.attempts > 0
     )
     infra_failed = sum(1 for record in records if record.status == FAILED)
+    net_messages = net_retransmits = net_dup_dropped = 0
+    lease_expiries = claims_lost = claims_rejected = match_timeouts = 0
+    if pool.fabric is not None:
+        stats = pool.fabric.stats
+        net_messages = stats.messages_sent
+        net_retransmits = stats.retransmits
+        net_dup_dropped = stats.duplicates_dropped
+        lease_expiries = pool.lease_expiries()
+        claims_rejected = pool.claims_rejected()
+        if pool.claims is not None:
+            claims_lost = pool.claims.claims_lost
+            match_timeouts = pool.claims.match_timeouts
     return SimulationResult(
         configuration=configuration,
         cluster_size=config.nodes,
@@ -225,6 +256,13 @@ def _collect(
         requeues=pool.schedd.requeues,
         retried_completed=retried_completed,
         faults_injected=injector.applied if injector is not None else 0,
+        net_messages=net_messages,
+        net_retransmits=net_retransmits,
+        net_duplicates_dropped=net_dup_dropped,
+        lease_expiries=lease_expiries,
+        claims_lost=claims_lost,
+        claims_rejected=claims_rejected,
+        match_timeouts=match_timeouts,
     )
 
 
@@ -233,11 +271,13 @@ def run_mc(
     config: ClusterConfig = ClusterConfig(),
     faults: Optional[FaultProfile] = None,
     fault_seed: int = 0,
+    net: Optional[NetProfile] = None,
+    net_seed: int = 0,
 ) -> SimulationResult:
     """Baseline: exclusive coprocessor allocation (MPSS + Condor)."""
     env, pool, nodes = _build(
         jobs, config, mode="exclusive", policy=ExclusivePlacement(),
-        faults=faults,
+        faults=faults, net=net, net_seed=net_seed,
     )
     injector = _attach_faults(env, pool, nodes, faults, fault_seed)
     makespan = pool.run_to_completion()
@@ -250,6 +290,8 @@ def run_mcc(
     memory_aware: bool = False,
     faults: Optional[FaultProfile] = None,
     fault_seed: int = 0,
+    net: Optional[NetProfile] = None,
+    net_seed: int = 0,
 ) -> SimulationResult:
     """MPSS + Condor + COSMIC: random placement, safe node-level sharing.
 
@@ -261,7 +303,7 @@ def run_mcc(
     env, pool, nodes = _build(
         jobs, config, mode="cosmic",
         policy=RandomPlacement(rng, memory_aware=memory_aware),
-        faults=faults,
+        faults=faults, net=net, net_seed=net_seed,
     )
     injector = _attach_faults(env, pool, nodes, faults, fault_seed)
     makespan = pool.run_to_completion()
@@ -273,6 +315,8 @@ def run_best_fit(
     config: ClusterConfig = ClusterConfig(),
     faults: Optional[FaultProfile] = None,
     fault_seed: int = 0,
+    net: Optional[NetProfile] = None,
+    net_seed: int = 0,
 ) -> SimulationResult:
     """Extra baseline (not in the paper): best-fit placement over COSMIC.
 
@@ -283,7 +327,8 @@ def run_best_fit(
     from ..condor.negotiator import BestFitPlacement
 
     env, pool, nodes = _build(
-        jobs, config, mode="cosmic", policy=BestFitPlacement(), faults=faults
+        jobs, config, mode="cosmic", policy=BestFitPlacement(), faults=faults,
+        net=net, net_seed=net_seed,
     )
     injector = _attach_faults(env, pool, nodes, faults, fault_seed)
     makespan = pool.run_to_completion()
@@ -297,10 +342,13 @@ def run_mcck(
     respect_host_slots: bool = True,
     faults: Optional[FaultProfile] = None,
     fault_seed: int = 0,
+    net: Optional[NetProfile] = None,
+    net_seed: int = 0,
 ) -> SimulationResult:
     """The proposed system: knapsack cluster scheduler over COSMIC."""
     env, pool, nodes = _build(
-        jobs, config, mode="cosmic", policy=PinnedPlacement(), faults=faults
+        jobs, config, mode="cosmic", policy=PinnedPlacement(), faults=faults,
+        net=net, net_seed=net_seed,
     )
     if packer is None:
         # The paper's packing rule: a set whose declared threads exceed
@@ -327,16 +375,25 @@ def run_configuration(
     config: ClusterConfig = ClusterConfig(),
     faults: Optional[FaultProfile] = None,
     fault_seed: int = 0,
+    net: Optional[NetProfile] = None,
+    net_seed: int = 0,
     **kwargs,
 ) -> SimulationResult:
     """Dispatch by configuration name ("MC" / "MCC" / "MCCK")."""
     if configuration == "MC":
-        return run_mc(jobs, config, faults=faults, fault_seed=fault_seed)
+        return run_mc(
+            jobs, config, faults=faults, fault_seed=fault_seed,
+            net=net, net_seed=net_seed,
+        )
     if configuration == "MCC":
-        return run_mcc(jobs, config, faults=faults, fault_seed=fault_seed)
+        return run_mcc(
+            jobs, config, faults=faults, fault_seed=fault_seed,
+            net=net, net_seed=net_seed,
+        )
     if configuration == "MCCK":
         return run_mcck(
-            jobs, config, faults=faults, fault_seed=fault_seed, **kwargs
+            jobs, config, faults=faults, fault_seed=fault_seed,
+            net=net, net_seed=net_seed, **kwargs,
         )
     raise ValueError(
         f"unknown configuration {configuration!r}; choose from {CONFIGURATIONS}"

@@ -133,8 +133,45 @@ def validate_exclusive(devices: Sequence[XeonPhi]) -> ValidationReport:
     return report
 
 
+def validate_fabric(
+    pool: CondorPool, report: ValidationReport | None = None
+) -> ValidationReport:
+    """Fabric-mode ledgers: claims and leases must reconcile post-run.
+
+    Every claim the schedd opened must be closed (completed, failed, or
+    declared lost), every lease the startds granted must be closed
+    (released, reported done, or expired), and the fabric's delivery
+    accounting must be internally consistent. A no-op on fabric-free
+    pools.
+    """
+    report = report or ValidationReport()
+    if pool.fabric is None:
+        return report
+    if pool.claims is not None and pool.claims.open_claims():
+        report.add(
+            "claims",
+            "schedd",
+            f"{pool.claims.open_claims()} claim(s) still open after drain",
+        )
+    for name, agent in pool.agents.items():
+        if agent.open_leases():
+            report.add(
+                "leases",
+                name,
+                f"{agent.open_leases()} lease(s) still open after drain",
+            )
+    stats = pool.fabric.stats
+    if stats.delivered > stats.attempts:
+        report.add(
+            "fabric",
+            "fabric",
+            f"delivered {stats.delivered} > attempts {stats.attempts}",
+        )
+    return report
+
+
 def validate_pool(pool: CondorPool, expect_gated: bool = True) -> ValidationReport:
-    """Full-pool check: devices + queue accounting."""
+    """Full-pool check: devices + queue accounting (+ fabric ledgers)."""
     report = ValidationReport()
     devices = [
         device for startd in pool.startds for device in startd.executor.devices
@@ -153,4 +190,5 @@ def validate_pool(pool: CondorPool, expect_gated: bool = True) -> ValidationRepo
                 startd.name,
                 f"{startd.slots - startd.free_slots} slot(s) still claimed",
             )
+    validate_fabric(pool, report=report)
     return report

@@ -20,7 +20,13 @@ from .classad import (
     set_compilation,
     symmetric_match,
 )
-from .collector import Collector
+from .claims import (
+    CollectorAgent,
+    Lease,
+    ScheddClaimManager,
+    StartdClaimAgent,
+)
+from .collector import Collector, build_name_index
 from .compile import RequirementsPlan, compile_expr, requirements_plan
 from .negotiator import (
     BestFitPlacement,
@@ -38,6 +44,7 @@ from .schedd import (
     FAILED,
     IDLE,
     INFRASTRUCTURE_STATUSES,
+    MATCHED,
     RUNNING,
     JobRecord,
     RetryPolicy,
@@ -62,7 +69,13 @@ __all__ = [
     "RetryPolicy",
     "ClassAdError",
     "Collector",
+    "CollectorAgent",
     "CondorPool",
+    "Lease",
+    "MATCHED",
+    "ScheddClaimManager",
+    "StartdClaimAgent",
+    "build_name_index",
     "DeviceSnapshot",
     "ERROR",
     "ExclusivePlacement",

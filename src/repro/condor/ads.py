@@ -86,6 +86,32 @@ class MachineSnapshot:
         return None
 
 
+def copy_snapshot(snapshot: MachineSnapshot) -> MachineSnapshot:
+    """A deep-enough copy for negotiation-time deduction.
+
+    Fabric mode hands the negotiator snapshots that live in the
+    collector's store (and may serve several cycles); deduction must
+    mutate a private copy, not the stored ad.
+    """
+    return MachineSnapshot(
+        node=snapshot.node,
+        total_slots=snapshot.total_slots,
+        free_slots=snapshot.free_slots,
+        devices=[
+            DeviceSnapshot(
+                index=d.index,
+                memory_mb=d.memory_mb,
+                free_declared_mb=d.free_declared_mb,
+                resident_jobs=d.resident_jobs,
+                hardware_threads=d.hardware_threads,
+                claimed_exclusive=d.claimed_exclusive,
+                failed=d.failed,
+            )
+            for d in snapshot.devices
+        ],
+    )
+
+
 def job_ad(
     profile: JobProfile, sharing: bool = True, memory_aware: bool = True
 ) -> ClassAd:

@@ -1,30 +1,55 @@
 """The collector: central-manager registry of node state.
 
 Real Condor nodes push periodic ClassAd updates to the collector; the
-negotiator then works from the collector's (slightly stale) view. We
-model the pull at the start of each negotiation cycle, which corresponds
-to updates arriving just in time — the staleness that matters for the
-paper (dispatch waiting for the next cycle) lives in the negotiator.
+negotiator then works from the collector's (slightly stale) view. In
+direct mode we model the pull at the start of each negotiation cycle,
+which corresponds to updates arriving just in time — the staleness that
+matters for the paper (dispatch waiting for the next cycle) lives in the
+negotiator. Under the message fabric the collector switches to *store*
+mode: it serves the last machine-update each startd managed to push
+through the network, so the negotiator's view really is stale.
 
 Failure model: a crashed node is *deregistered* (the fault injector
 knows the exact moment), and — as the detection backstop real pools rely
 on — a node whose heartbeat goes stale is dropped from the negotiation
 snapshots until it reports again. Heartbeats are opt-in: with no
 ``heartbeat_timeout`` configured and no heartbeats recorded, behaviour
-is identical to the fault-free collector.
+is identical to the fault-free collector. Staleness transitions are
+reported to the observability layer (a trace instant plus the
+``collector.stale_drops`` / ``collector.reregistrations`` counters) so
+silent capacity loss shows up in traces.
 """
 
 from __future__ import annotations
 
 from typing import Optional
 
-from .ads import MachineSnapshot, slot_name
+from ..obs import metrics as _metrics
+from ..obs import trace as _trace
+from .ads import MachineSnapshot, copy_snapshot, slot_name
 from .startd import Startd
 
 #: Index value for a slot name claimed by several nodes (names differing
 #: only by case collide under the case-insensitive index): the negotiator
 #: must fall back to a full scan rather than pick one arbitrarily.
 AMBIGUOUS_NAME = object()
+
+
+def build_name_index(
+    snapshots: list[MachineSnapshot],
+) -> dict[str, object]:
+    """Slot-name → snapshot index for pinned-job routing.
+
+    Lowercased (ClassAd string comparison is case-insensitive); a
+    case-collision maps to :data:`AMBIGUOUS_NAME`. Shared between the
+    collector's direct-mode :meth:`Collector.indexed_snapshots` and the
+    fabric-mode negotiator, which indexes snapshot-response payloads.
+    """
+    index: dict[str, object] = {}
+    for snapshot in snapshots:
+        key = slot_name(snapshot.node).lower()
+        index[key] = AMBIGUOUS_NAME if key in index else snapshot
+    return index
 
 
 class Collector:
@@ -44,6 +69,15 @@ class Collector:
         self._startds: dict[str, Startd] = {}
         self._dead: set[str] = set()
         self._heartbeats: dict[str, float] = {}
+        #: Fabric mode: serve stored machine-updates, not live state.
+        self._use_store = False
+        self._stored: dict[str, MachineSnapshot] = {}
+        #: Last observed staleness per heartbeat-tracked node, for
+        #: transition (not per-query) observability emissions.
+        self._stale: dict[str, bool] = {}
+        #: Staleness drops / re-registrations observed (transitions).
+        self.stale_drops = 0
+        self.reregistrations = 0
 
     def register(self, startd: Startd) -> None:
         if startd.name in self._startds:
@@ -68,6 +102,24 @@ class Collector:
             raise KeyError(f"node {name!r} is not registered")
         self._heartbeats[name] = now
 
+    # -- fabric store mode ------------------------------------------------
+
+    def enable_store(self) -> None:
+        """Serve stored machine-updates instead of reading startds live."""
+        self._use_store = True
+
+    def store_update(self, snapshot: MachineSnapshot, now: float) -> None:
+        """Record a machine-update that arrived over the fabric.
+
+        The update doubles as the node's heartbeat — exactly Condor's
+        behaviour, where the periodic ClassAd push *is* the liveness
+        signal.
+        """
+        self._stored[snapshot.node] = snapshot
+        self.record_heartbeat(snapshot.node, now)
+
+    # -- liveness ---------------------------------------------------------
+
     def is_alive(self, name: str, now: Optional[float] = None) -> bool:
         """Whether ``name`` should be offered to the negotiator.
 
@@ -87,6 +139,48 @@ class Collector:
             return False
         return True
 
+    def _note_staleness(self, name: str, now: Optional[float]) -> None:
+        """Track heartbeat-staleness transitions and report them."""
+        if (
+            self.heartbeat_timeout is None
+            or now is None
+            or name not in self._heartbeats
+            or name in self._dead
+        ):
+            return
+        stale = now - self._heartbeats[name] > self.heartbeat_timeout
+        was_stale = self._stale.get(name, False)
+        if stale == was_stale:
+            return
+        self._stale[name] = stale
+        tracer = _trace.ACTIVE
+        registry = _metrics.ACTIVE
+        if stale:
+            self.stale_drops += 1
+            if tracer is not None:
+                tracer.instant(
+                    "node-stale",
+                    "collector",
+                    now,
+                    tid=_trace.FAULTS_TID,
+                    node=name,
+                    last_heartbeat=self._heartbeats[name],
+                )
+            if registry is not None:
+                registry.counter("collector.stale_drops").inc()
+        else:
+            self.reregistrations += 1
+            if tracer is not None:
+                tracer.instant(
+                    "node-reregistered",
+                    "collector",
+                    now,
+                    tid=_trace.FAULTS_TID,
+                    node=name,
+                )
+            if registry is not None:
+                registry.counter("collector.reregistrations").inc()
+
     def startd(self, name: str) -> Startd:
         return self._startds[name]
 
@@ -95,33 +189,37 @@ class Collector:
         return list(self._startds.values())
 
     def snapshots(self, now: Optional[float] = None) -> list[MachineSnapshot]:
-        """Current state of every live node, in registration order."""
-        return [
-            s.snapshot()
-            for s in self._startds.values()
-            if self.is_alive(s.name, now)
-        ]
+        """Current state of every live node, in registration order.
+
+        Store mode returns copies of the last received machine-updates
+        (nodes that never reported are absent); direct mode reads each
+        startd live.
+        """
+        out: list[MachineSnapshot] = []
+        for s in self._startds.values():
+            self._note_staleness(s.name, now)
+            if not self.is_alive(s.name, now):
+                continue
+            if self._use_store:
+                stored = self._stored.get(s.name)
+                if stored is not None:
+                    out.append(copy_snapshot(stored))
+            else:
+                out.append(s.snapshot())
+        return out
 
     def indexed_snapshots(
         self, now: Optional[float] = None
     ) -> tuple[list[MachineSnapshot], dict[str, object]]:
         """Snapshots plus a slot-name index for pinned-job routing.
 
-        The index maps each live node's advertised slot name (lowercased
-        — ClassAd string comparison is case-insensitive) to its
-        snapshot. Because every live snapshot appears in the index, a
-        miss proves no machine advertises that name, and a hit is the
-        *only* machine that can satisfy ``TARGET.Name == <literal>``.
-        Should two nodes' names collide after lowercasing, the entry
-        becomes :data:`AMBIGUOUS_NAME` and the negotiator falls back to
-        scanning.
+        Because every live snapshot appears in the index, a miss proves
+        no machine advertises that name, and a hit is the *only* machine
+        that can satisfy ``TARGET.Name == <literal>``. See
+        :func:`build_name_index`.
         """
         snapshots = self.snapshots(now)
-        index: dict[str, object] = {}
-        for snapshot in snapshots:
-            key = slot_name(snapshot.node).lower()
-            index[key] = AMBIGUOUS_NAME if key in index else snapshot
-        return snapshots, index
+        return snapshots, build_name_index(snapshots)
 
     def __len__(self) -> int:
         return len(self._startds)

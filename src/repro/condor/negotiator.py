@@ -24,13 +24,16 @@ from dataclasses import dataclass
 from time import perf_counter
 from typing import Optional
 
+from ..net.fabric import COLLECTOR as NET_COLLECTOR
+from ..net.fabric import NEGOTIATOR as NET_NEGOTIATOR
+from ..net.fabric import SCHEDD as NET_SCHEDD
 from ..obs import metrics as _metrics
 from ..obs import trace as _trace
 from ..sim import Environment
 from ..sim import profile as _profile
-from .ads import MachineSnapshot, machine_ad
+from .ads import MachineSnapshot, copy_snapshot, machine_ad
 from .classad import Literal, symmetric_match
-from .collector import AMBIGUOUS_NAME, Collector
+from .collector import AMBIGUOUS_NAME, Collector, build_name_index
 from .compile import requirements_plan
 from .schedd import JobRecord, Schedd, job_tid
 
@@ -51,6 +54,9 @@ class CycleStats:
     prefiltered: int = 0
     examined: int = 0
     matched: int = 0
+    #: Fabric mode only: idle jobs skipped because a match notification
+    #: for them is still in flight (extends the partition above).
+    in_flight: int = 0
     #: Machines probed with symmetric ClassAd matchmaking.
     evals: int = 0
     #: Examined jobs routed through the collector's name index (O(1)).
@@ -259,12 +265,20 @@ class Negotiator:
         reschedule_on_completion: bool = False,
         reschedule_delay: float = 1.0,
         use_pin_index: bool = True,
+        fabric=None,
     ) -> None:
         """``reschedule_on_completion`` models ``condor_reschedule``: a
         job completion prompts an extra negotiation cycle after
         ``reschedule_delay`` seconds instead of waiting for the periodic
         timer — the knob that shrinks the integration latency the paper
-        blames for MCCK's overhead on unfavourable distributions."""
+        blames for MCCK's overhead on unfavourable distributions.
+
+        With a ``fabric`` (:class:`repro.net.fabric.MessageFabric`), the
+        negotiator stops touching the collector and startds directly: it
+        negotiates over the last snapshot-response it received, sends
+        match notifications to the schedd, and requests a fresh snapshot
+        each cycle — its view of the pool is as stale as the network
+        makes it."""
         if cycle_interval <= 0:
             raise ValueError("cycle_interval must be positive")
         if reschedule_delay < 0:
@@ -276,6 +290,14 @@ class Negotiator:
         self.cycle_interval = cycle_interval
         self.reschedule_on_completion = reschedule_on_completion
         self.reschedule_delay = reschedule_delay
+        self._fabric = fabric
+        #: Fabric mode: jobs whose match notification is not yet
+        #: acknowledged (job_id -> token); skipped when re-offering.
+        self._inflight: dict[str, int] = {}
+        #: Fabric mode: snapshots from the latest snapshot-response.
+        self._machine_view: list[MachineSnapshot] = []
+        self._next_token = 1
+        self._resched_msg_pending = False
         #: Route jobs whose Requirements pin ``TARGET.Name`` through the
         #: collector's name index instead of scanning every machine.
         #: Match decisions are identical either way (the pin literal can
@@ -293,15 +315,54 @@ class Negotiator:
         """Begin periodic negotiation (call once, before env.run)."""
         if self._proc is not None:
             raise RuntimeError("negotiator already started")
+        if self._fabric is not None:
+            from .claims import MSG_RESCHEDULE, MSG_SNAPSHOT_RESPONSE
+
+            self._fabric.register(
+                NET_NEGOTIATOR, MSG_SNAPSHOT_RESPONSE, self._on_snapshot_response
+            )
+            if self.reschedule_on_completion:
+                self._fabric.register(
+                    NET_NEGOTIATOR, MSG_RESCHEDULE, self._on_reschedule_msg
+                )
+            self._request_snapshots()
         self._proc = self.env.process(self._loop(), name="negotiator")
         if self.reschedule_on_completion:
             self.schedd.completion_listeners.append(self._on_completion)
 
     def _on_completion(self, _record) -> None:
+        if self._fabric is not None:
+            # The listener fires at the schedd; condor_reschedule is a
+            # message to the negotiator, not a local call.
+            if self._resched_msg_pending:
+                return
+            self._resched_msg_pending = True
+            from .claims import MSG_RESCHEDULE
+
+            self._fabric.send(NET_SCHEDD, NET_NEGOTIATOR, MSG_RESCHEDULE, {})
+            return
         if self._reschedule_pending:
             return
         self._reschedule_pending = True
         self.env.process(self._reschedule(), name="negotiator-reschedule")
+
+    def _on_reschedule_msg(self, _msg) -> None:
+        self._resched_msg_pending = False
+        if self._reschedule_pending:
+            return
+        self._reschedule_pending = True
+        self.env.process(self._reschedule(), name="negotiator-reschedule")
+
+    def _on_snapshot_response(self, msg) -> None:
+        self._machine_view = msg.payload["snapshots"]
+
+    def _request_snapshots(self) -> None:
+        from .claims import MSG_SNAPSHOT_REQUEST
+
+        self._fabric.send(NET_NEGOTIATOR, NET_COLLECTOR, MSG_SNAPSHOT_REQUEST, {})
+
+    def _match_delivered(self, msg) -> None:
+        self._inflight.pop(msg.payload["job_id"], None)
 
     def _reschedule(self):
         if self.reschedule_delay > 0:
@@ -324,7 +385,14 @@ class Negotiator:
         prof = _profile.ACTIVE
         wall_start = perf_counter() if registry is not None else 0.0
         stats = CycleStats()
-        if self.use_pin_index:
+        if self._fabric is not None:
+            # Negotiate over the last snapshot-response that made it
+            # through the network (copied: deduction must not corrupt
+            # the stored view), and ask for a fresh one for next cycle.
+            snapshots = [copy_snapshot(s) for s in self._machine_view]
+            index = build_name_index(snapshots) if self.use_pin_index else None
+            self._request_snapshots()
+        elif self.use_pin_index:
             snapshots, index = self.collector.indexed_snapshots(self.env.now)
         else:
             snapshots = self.collector.snapshots(self.env.now)
@@ -341,10 +409,16 @@ class Negotiator:
         # below) and bound methods keep attribute traffic off the loop.
         policy = self.policy
         prefilter = policy.prefilter
-        parked = prefiltered = examined = 0
+        inflight = self._inflight
+        parked = prefiltered = examined = in_flight = 0
         for record in self.schedd.pending():
             if exhausted:
                 break
+            if inflight and record.job_id in inflight:
+                # Fabric mode: this job's match notification is still in
+                # flight — re-offering it would double-match.
+                in_flight += 1
+                continue
             req = record.ad._attrs.get("requirements")
             if req is None:
                 # No Requirements at all: nothing can ever match.
@@ -377,26 +451,43 @@ class Negotiator:
                 record.profile.declared_memory_mb,
             )
             exhausted = policy.exhausted(snapshots)
-            startd = self.collector.startd(snapshot.node)
-            if not startd.alive:
-                # The node died inside the staleness window; skip the
-                # match rather than dispatching into a crash.
-                continue
-            if tracer is not None:
-                tracer.instant(
-                    "matched",
-                    "negotiator",
-                    self.env.now,
-                    tid=job_tid(record),
-                    node=snapshot.node,
-                    device=device_index,
-                    exclusive=exclusive,
-                )
-            startd.start_job(record, device_index, exclusive)
+            if self._fabric is None:
+                startd = self.collector.startd(snapshot.node)
+                if not startd.alive:
+                    # The node died inside the staleness window; skip the
+                    # match rather than dispatching into a crash.
+                    continue
+                if tracer is not None:
+                    tracer.instant(
+                        "matched",
+                        "negotiator",
+                        self.env.now,
+                        tid=job_tid(record),
+                        node=snapshot.node,
+                        device=device_index,
+                        exclusive=exclusive,
+                    )
+                startd.start_job(record, device_index, exclusive)
+            else:
+                # Fabric mode: a match is a *notification* to the schedd
+                # (which activates the claim); whether the node is still
+                # alive is for the claim protocol to discover.
+                if tracer is not None:
+                    tracer.instant(
+                        "matched",
+                        "negotiator",
+                        self.env.now,
+                        tid=job_tid(record),
+                        node=snapshot.node,
+                        device=device_index,
+                        exclusive=exclusive,
+                    )
+                self._send_match(record, snapshot.node, device_index, exclusive)
             stats.matched += 1
         stats.parked = parked
         stats.prefiltered = prefiltered
         stats.examined = examined
+        stats.in_flight = in_flight
         matched = stats.matched
         self.matches_made += matched
         self.last_cycle = stats
@@ -436,6 +527,32 @@ class Negotiator:
                 (perf_counter() - wall_start) * 1e3
             )
         return matched
+
+    def _send_match(
+        self,
+        record: JobRecord,
+        node: str,
+        device_index: Optional[int],
+        exclusive: bool,
+    ) -> None:
+        from .claims import MSG_MATCH
+
+        token = self._next_token
+        self._next_token += 1
+        self._inflight[record.job_id] = token
+        self._fabric.send(
+            NET_NEGOTIATOR,
+            NET_SCHEDD,
+            MSG_MATCH,
+            {
+                "job_id": record.job_id,
+                "node": node,
+                "device": device_index,
+                "exclusive": exclusive,
+                "token": token,
+            },
+            on_delivered=self._match_delivered,
+        )
 
     def _match(self, record: JobRecord, snapshots, ads, index, plan, stats):
         if index is not None and plan.pin_name is not None:

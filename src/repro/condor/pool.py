@@ -4,8 +4,11 @@ from __future__ import annotations
 
 from typing import Optional, Sequence
 
+from ..net.fabric import MessageFabric
+from ..net.profile import NetProfile
 from ..sim import Environment
 from ..workloads.profiles import JobProfile
+from .claims import CollectorAgent, ScheddClaimManager, StartdClaimAgent
 from .collector import Collector
 from .negotiator import Negotiator, PlacementPolicy
 from .schedd import RetryPolicy, Schedd
@@ -18,6 +21,12 @@ class CondorPool:
     The pool owns the schedd, collector, per-node startds, and the
     negotiator; jobs are submitted through :meth:`submit` and the whole
     thing runs on the shared simulation environment.
+
+    With ``net`` set (a :class:`~repro.net.profile.NetProfile`), every
+    daemon pair routes through a seeded :class:`MessageFabric` and slot
+    claims carry leases (:mod:`repro.condor.claims`); without it, the
+    daemons call each other directly and behaviour is byte-identical to
+    the fabric-free pool.
     """
 
     def __init__(
@@ -31,12 +40,24 @@ class CondorPool:
         reschedule_on_completion: bool = False,
         retry_policy: Optional[RetryPolicy] = None,
         heartbeat_timeout: Optional[float] = None,
+        net: Optional[NetProfile] = None,
+        net_seed: int = 0,
     ) -> None:
         if not executors:
             raise ValueError("a pool needs at least one node")
         self.env = env
         self.policy = policy
+        self.net = net
+        if net is not None and retry_policy is None and net.retry_jitter > 0:
+            # Under an unreliable network many claims die in the same
+            # partition window; jittered backoff keeps their retries
+            # from re-queueing in lockstep.
+            retry_policy = RetryPolicy(
+                jitter=net.retry_jitter, jitter_seed=net_seed
+            )
         self.schedd = Schedd(env, retry_policy=retry_policy)
+        if net is not None and heartbeat_timeout is None:
+            heartbeat_timeout = net.heartbeat_timeout_s
         self.collector = Collector(heartbeat_timeout=heartbeat_timeout)
         self.startds: list[Startd] = []
         for executor in executors:
@@ -49,6 +70,20 @@ class CondorPool:
             )
             self.collector.register(startd)
             self.startds.append(startd)
+        self.fabric: Optional[MessageFabric] = None
+        self.claims: Optional[ScheddClaimManager] = None
+        self.agents: dict[str, StartdClaimAgent] = {}
+        self.collector_agent: Optional[CollectorAgent] = None
+        if net is not None:
+            self.fabric = MessageFabric(env, net, net_seed)
+            self.claims = ScheddClaimManager(env, self.schedd, self.fabric, net)
+            self.agents = {
+                startd.name: StartdClaimAgent(env, startd, self.fabric, net)
+                for startd in self.startds
+            }
+            self.collector_agent = CollectorAgent(
+                env, self.collector, self.fabric, net, self.startds
+            )
         self.negotiator = Negotiator(
             env,
             self.schedd,
@@ -56,6 +91,7 @@ class CondorPool:
             policy,
             cycle_interval,
             reschedule_on_completion=reschedule_on_completion,
+            fabric=self.fabric,
         )
 
     def submit(self, profiles: Sequence[JobProfile]) -> None:
@@ -70,6 +106,14 @@ class CondorPool:
     def start(self) -> None:
         """Begin negotiation cycles."""
         self.negotiator.start()
+
+    def lease_expiries(self) -> int:
+        """Startd-side lease expiry kills across the pool (fabric mode)."""
+        return sum(agent.lease_expiries for agent in self.agents.values())
+
+    def claims_rejected(self) -> int:
+        """Claim activations the startds turned down (fabric mode)."""
+        return sum(agent.claims_rejected for agent in self.agents.values())
 
     def run_to_completion(self, limit: Optional[float] = None) -> float:
         """Start the pool, run until the queue drains; returns makespan."""

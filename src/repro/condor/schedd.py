@@ -11,12 +11,20 @@ overhead on unfavourable distributions.
 
 from __future__ import annotations
 
+import hashlib
 import operator
 from dataclasses import dataclass, field
 from typing import Callable, Optional
 
-from ..faults.errors import DEVICE_FAILED, JOB_CRASHED, NODE_LOST
+from ..faults.errors import (
+    CLAIM_LOST,
+    DEVICE_FAILED,
+    JOB_CRASHED,
+    LEASE_EXPIRED,
+    NODE_LOST,
+)
 from ..mpss.runtime import JobRunResult
+from ..obs import audit as _audit
 from ..obs import metrics as _metrics
 from ..obs import trace as _trace
 from ..sim import Environment, Event
@@ -25,6 +33,10 @@ from .ads import job_ad
 from .classad import ClassAd, Expr
 
 IDLE = "Idle"
+#: A match notification arrived over the fabric but the claim has not
+#: been activated on the startd yet (fabric mode only — direct dispatch
+#: never leaves a job in this state).
+MATCHED = "Matched"
 RUNNING = "Running"
 COMPLETED = "Completed"
 REMOVED = "Removed"
@@ -37,7 +49,8 @@ FAILED = "Failed"
 #: these are retryable — kill-by-container statuses ("memory-limit",
 #: "oom-killed") are the job's own fault and rerunning would fail again.
 INFRASTRUCTURE_STATUSES = frozenset(
-    {DEVICE_FAILED, NODE_LOST, JOB_CRASHED, "infrastructure"}
+    {DEVICE_FAILED, NODE_LOST, JOB_CRASHED, LEASE_EXPIRED, CLAIM_LOST,
+     "infrastructure"}
 )
 
 #: Sort key for FIFO queue listings (precomputed at submission).
@@ -58,12 +71,22 @@ class RetryPolicy:
     ``base_backoff_s * backoff_factor ** (attempt - 1)`` seconds (capped
     at ``max_backoff_s``) before re-entering the idle queue. The bound
     is what prevents a retry storm when a failure is persistent.
+
+    ``jitter`` desynchronizes the storms the bound cannot prevent: when
+    one node crash fails sixteen jobs in the same instant, identical
+    backoffs would re-queue them in the same negotiation cycle too. A
+    nonzero jitter scales each delay by a factor drawn deterministically
+    from ``(jitter_seed, key, attempt)`` — a keyed hash, not process
+    state — so replays for a fixed seed stay byte-identical while
+    distinct jobs spread across ``[1 - jitter, 1] × backoff``.
     """
 
     max_retries: int = 3
     base_backoff_s: float = 30.0
     backoff_factor: float = 2.0
     max_backoff_s: float = 600.0
+    jitter: float = 0.0
+    jitter_seed: int = 0
 
     def __post_init__(self) -> None:
         if self.max_retries < 0:
@@ -72,19 +95,33 @@ class RetryPolicy:
             raise ValueError("backoff times must be non-negative")
         if self.backoff_factor < 1.0:
             raise ValueError("backoff_factor must be >= 1")
+        if not 0.0 <= self.jitter <= 1.0:
+            raise ValueError("jitter must be in [0, 1]")
 
     def should_retry(self, status: str, attempts: int) -> bool:
         """Whether a job with ``attempts`` failed runs gets another."""
         return status in INFRASTRUCTURE_STATUSES and attempts <= self.max_retries
 
-    def backoff(self, attempt: int) -> float:
-        """Delay before re-queueing after failed run number ``attempt``."""
+    def backoff(self, attempt: int, key: Optional[str] = None) -> float:
+        """Delay before re-queueing after failed run number ``attempt``.
+
+        ``key`` (normally the job id) selects the jitter draw. The draw
+        comes from SHA-256 — never the builtin ``hash``, whose per-process
+        randomization would break cross-process replays.
+        """
         if attempt <= 0:
             raise ValueError("attempt must be positive")
-        return min(
+        delay = min(
             self.max_backoff_s,
             self.base_backoff_s * self.backoff_factor ** (attempt - 1),
         )
+        if self.jitter == 0.0 or key is None:
+            return delay
+        digest = hashlib.sha256(
+            f"retry-jitter:{self.jitter_seed}:{key}:{attempt}".encode()
+        ).digest()
+        unit = int.from_bytes(digest[:8], "big") / 2**64
+        return delay * (1.0 - self.jitter * unit)
 
 
 @dataclass
@@ -110,6 +147,10 @@ class JobRecord:
     #: FIFO examination key, fixed at submission: (submit_time, seq).
     #: Cached so queue listings sort without re-deriving tuples per call.
     fifo_key: tuple = (0.0, 0)
+    #: The current match/claim token under the message fabric. Stale
+    #: messages (from a match the schedd has since abandoned) carry an
+    #: older token and are rejected by the claim manager.
+    claim_token: Optional[int] = None
 
     @property
     def is_pending(self) -> bool:
@@ -215,6 +256,9 @@ class Schedd:
         if registry is not None:
             registry.counter("schedd.jobs_submitted").inc()
             registry.gauge("schedd.queue_depth").record(self.env.now, self._idle)
+        auditor = _audit.ACTIVE
+        if auditor is not None:
+            auditor.job_submitted(record.job_id)
         for listener in list(self.submit_listeners):
             listener(record)
         return record
@@ -290,10 +334,45 @@ class Schedd:
 
     # -- lifecycle transitions ----------------------------------------------
 
-    def mark_running(self, job_id: str, node: str, device: Optional[int]) -> None:
+    def mark_matched(self, job_id: str, token: int) -> None:
+        """IDLE → MATCHED: a match notification arrived over the fabric.
+
+        The job leaves the pending queue (it is spoken for) but is not
+        running yet; the claim manager reverts it via :meth:`unmatch` if
+        the claim never activates.
+        """
         record = self._records[job_id]
         if record.status != IDLE:
             raise ValueError(f"job {job_id!r} is {record.status}, not idle")
+        record.status = MATCHED
+        record.claim_token = token
+        record.ad["JobStatus"] = MATCHED
+        self._idle -= 1
+        registry = _metrics.ACTIVE
+        if registry is not None:
+            registry.gauge("schedd.queue_depth").record(self.env.now, self._idle)
+
+    def unmatch(self, job_id: str) -> None:
+        """MATCHED → IDLE: the claim never activated; re-offer the job."""
+        record = self._records[job_id]
+        if record.status != MATCHED:
+            raise ValueError(f"job {job_id!r} is {record.status}, not matched")
+        record.status = IDLE
+        record.claim_token = None
+        record.ad["JobStatus"] = IDLE
+        self._idle += 1
+        registry = _metrics.ACTIVE
+        if registry is not None:
+            registry.gauge("schedd.queue_depth").record(self.env.now, self._idle)
+
+    def mark_running(self, job_id: str, node: str, device: Optional[int]) -> None:
+        record = self._records[job_id]
+        if record.status not in (IDLE, MATCHED):
+            raise ValueError(f"job {job_id!r} is {record.status}, not idle")
+        if record.status == MATCHED:
+            # Fabric mode: the job already left the idle count at
+            # mark_matched; don't decrement twice below.
+            self._idle += 1
         record.status = RUNNING
         record.matched_node = node
         record.matched_device = device
@@ -322,7 +401,11 @@ class Schedd:
         record.status = COMPLETED
         record.result = result
         record.ad["JobStatus"] = COMPLETED
+        record.claim_token = None
         self._unfinished -= 1
+        auditor = _audit.ACTIVE
+        if auditor is not None:
+            auditor.job_terminal(job_id, result.status, self.env.now)
         tracer = _trace.ACTIVE
         if tracer is not None:
             tracer.instant(
@@ -369,6 +452,7 @@ class Schedd:
         record.failures.append(result)
         record.matched_node = None
         record.matched_device = None
+        record.claim_token = None
         retry = self.retry_policy.should_retry(result.status, record.attempts)
         tracer = _trace.ACTIVE
         if tracer is not None:
@@ -387,7 +471,7 @@ class Schedd:
         if retry:
             record.status = BACKOFF
             record.ad["JobStatus"] = BACKOFF
-            delay = self.retry_policy.backoff(record.attempts)
+            delay = self.retry_policy.backoff(record.attempts, key=job_id)
             if tracer is not None:
                 tracer.begin_keyed(
                     ("backoff", job_id),
@@ -407,6 +491,9 @@ class Schedd:
             record.ad["JobStatus"] = FAILED
             self._unfinished -= 1
             self.terminal_failures += 1
+            auditor = _audit.ACTIVE
+            if auditor is not None:
+                auditor.job_terminal(job_id, result.status, self.env.now)
             if tracer is not None:
                 tracer.end_keyed(
                     ("job", job_id),

@@ -21,6 +21,7 @@ from typing import Any, Optional, Protocol
 
 from ..faults.errors import fault_status_of
 from ..mpss.runtime import JobRunResult
+from ..obs import audit as _audit
 from ..obs import metrics as _metrics
 from ..obs import trace as _trace
 from ..sim import Environment, Interrupt
@@ -84,6 +85,11 @@ class Startd:
         self.alive = True
         #: Jobs currently running here: job_id -> (record, process, device).
         self._active: dict[str, tuple[JobRecord, Any, Optional[int]]] = {}
+        #: Fabric mode only: the claim agent reporting outcomes for
+        #: leased runs (set by :class:`repro.condor.claims.StartdClaimAgent`).
+        self.claim_agent: Optional[Any] = None
+        #: Fabric mode only: job_id -> lease for leased runs.
+        self._leases: dict[str, Any] = {}
 
     @property
     def name(self) -> str:
@@ -124,6 +130,31 @@ class Startd:
             devices=devices,
         )
 
+    def claim_error(
+        self,
+        record: JobRecord,
+        device_index: Optional[int],
+        exclusive: bool,
+    ) -> Optional[str]:
+        """Why a claim cannot be accepted right now (``None`` = it can).
+
+        The fabric-mode negotiator works from a stale collector view, so
+        over-commitment is normal; the claim agent turns these reasons
+        into claim-reject messages instead of crashes.
+        """
+        if not self.alive:
+            return "node-down"
+        if self.free_slots <= 0:
+            return "no-free-slots"
+        if record.job_id in self._active:
+            return "job-already-active"
+        if exclusive:
+            if device_index is None:
+                return "exclusive-needs-device"
+            if device_index in self._exclusive_claims:
+                return "device-claimed"
+        return None
+
     def start_job(
         self,
         record: JobRecord,
@@ -142,10 +173,41 @@ class Startd:
                 raise RuntimeError(
                     f"{self.name}: device {device_index} already claimed"
                 )
+        self.schedd.mark_running(record.job_id, self.name, device_index)
+        self._launch(record, device_index, exclusive)
+
+    def start_claimed(
+        self,
+        record: JobRecord,
+        device_index: Optional[int],
+        exclusive: bool,
+        lease: Any,
+    ) -> None:
+        """Launch an already-validated, leased claim (fabric mode).
+
+        The schedd is *not* marked running here — that happens when the
+        job-started message reaches it; the lease's watchdog bounds how
+        long the run may outlive the schedd's knowledge of it.
+        """
+        self._leases[record.job_id] = lease
+        self._launch(record, device_index, exclusive)
+
+    def _launch(
+        self,
+        record: JobRecord,
+        device_index: Optional[int],
+        exclusive: bool,
+    ) -> None:
+        if exclusive and device_index is not None:
             self._exclusive_claims.add(device_index)
         self._busy_slots += 1
         self.started_jobs += 1
-        self.schedd.mark_running(record.job_id, self.name, device_index)
+        auditor = _audit.ACTIVE
+        if auditor is not None:
+            auditor.slot_claimed(
+                self.name, record.job_id, self.slots, self.env.now
+            )
+            auditor.run_started(self.name, record.job_id, self.env.now)
         proc = self.env.process(
             self._starter(record, device_index, exclusive),
             name=f"starter:{record.job_id}@{self.name}",
@@ -245,6 +307,11 @@ class Startd:
             self._busy_slots -= 1
             if exclusive and device_index is not None:
                 self._exclusive_claims.discard(device_index)
+            lease = self._leases.pop(record.job_id, None)
+            auditor = _audit.ACTIVE
+            if auditor is not None:
+                auditor.run_ended(self.name, record.job_id, self.env.now)
+                auditor.slot_released(self.name, record.job_id, self.env.now)
             if tracer is not None:
                 # Whichever stage the job died in (a fault can land
                 # during the dispatch handshake) is still open: close it.
@@ -267,11 +334,19 @@ class Startd:
                 offloads_run=0,
                 attempt=record.attempts,
             )
-            self.schedd.mark_failed(record.job_id, failed)
+            if lease is not None:
+                # Fabric mode: the outcome travels back as a job-done
+                # message through the claim agent, not a direct call.
+                self.claim_agent.report_done(record, failed, True, lease)
+            else:
+                self.schedd.mark_failed(record.job_id, failed)
             return
         assert isinstance(result, JobRunResult)
         result.attempt = record.attempts
-        self.schedd.mark_completed(record.job_id, result)
+        if lease is not None:
+            self.claim_agent.report_done(record, result, False, lease)
+        else:
+            self.schedd.mark_completed(record.job_id, result)
 
     def __repr__(self) -> str:
         state = "up" if self.alive else "down"

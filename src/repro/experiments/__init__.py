@@ -27,6 +27,7 @@ from . import (
     ext_capacity,
     ext_faults,
     ext_multidevice,
+    ext_netchaos,
     ext_oversubscription,
     ext_replication,
     fig7,
@@ -54,6 +55,7 @@ EXPERIMENTS = {
     "ext-capacity": ext_capacity,
     "ext-faults": ext_faults,
     "ext-multidevice": ext_multidevice,
+    "ext-netchaos": ext_netchaos,
     "ext-oversubscription": ext_oversubscription,
     "ext-replication": ext_replication,
 }
@@ -70,6 +72,7 @@ __all__ = [
     "ext_capacity",
     "ext_faults",
     "ext_multidevice",
+    "ext_netchaos",
     "ext_oversubscription",
     "ext_replication",
     "fig7",

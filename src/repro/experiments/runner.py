@@ -44,6 +44,7 @@ from dataclasses import dataclass, field
 from typing import Any, Optional, Sequence, Tuple
 
 from ..cluster import run_configuration
+from ..obs import audit as _audit
 from ..obs import metrics as _metrics
 from ..obs import trace as _trace
 from .cache import ResultCache
@@ -108,12 +109,24 @@ def compute_task(task: SimTask) -> Any:
     # Each cell's sim clock restarts at zero, so the tracer and the
     # metrics registry partition their output per cell. In parallel mode
     # the workers are separate processes where ACTIVE is None — tracing
-    # is a single-process (--jobs 1) feature, like --profile.
+    # is a single-process (--jobs 1) feature, like --profile and --audit.
     label = f"{task.experiment}/{task.label}"
     if _trace.ACTIVE is not None:
         _trace.ACTIVE.enter_cell(label)
     if _metrics.ACTIVE is not None:
         _metrics.ACTIVE.enter_cell(label)
+    auditor = _audit.ACTIVE
+    if auditor is None:
+        return _compute_value(task)
+    # Scope the auditor's ledgers to this cell; finish_cell runs the
+    # end-of-cell reconciliation checks (and raises on a violation).
+    auditor.enter_cell(label)
+    value = _compute_value(task)
+    auditor.finish_cell()
+    return value
+
+
+def _compute_value(task: SimTask) -> Any:
     if task.kind == "sim":
         p = task.kwargs()
         job_set = make_workload(p["workload"])
@@ -142,6 +155,30 @@ def compute_task(task: SimTask) -> Any:
             "requeues": result.requeues,
             "retried": result.retried_completed,
             "faults_injected": result.faults_injected,
+        }
+    if task.kind == "sim-net":
+        p = task.kwargs()
+        job_set = make_workload(p["workload"])
+        result = run_configuration(
+            p["configuration"],
+            job_set,
+            p["config"],
+            net=p["net"],
+            net_seed=p["net_seed"],
+        )
+        return {
+            "makespan": result.makespan,
+            "utilization": result.mean_core_utilization,
+            "jobs": result.job_count,
+            "completed": result.completed_jobs,
+            "failed": result.infra_failed_jobs,
+            "requeues": result.requeues,
+            "messages": result.net_messages,
+            "retransmits": result.net_retransmits,
+            "dup_dropped": result.net_duplicates_dropped,
+            "lease_expiries": result.lease_expiries,
+            "claims_lost": result.claims_lost,
+            "match_timeouts": result.match_timeouts,
         }
     # Imported lazily: the registry imports the experiment modules,
     # which import this module for SimTask/execute.

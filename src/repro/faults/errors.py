@@ -24,6 +24,12 @@ from __future__ import annotations
 DEVICE_FAILED = "device-failed"
 NODE_LOST = "node-lost"
 JOB_CRASHED = "job-crashed"
+#: The startd's claim lease ran out (no renewal over the network): the
+#: slot is reclaimed and the run killed. The job is blameless.
+LEASE_EXPIRED = "lease-expired"
+#: The schedd stopped hearing renewal acks and declared the claim lost
+#: (the startd-side kill happened first; see repro.condor.claims).
+CLAIM_LOST = "claim-lost"
 
 
 class InfrastructureFailure(Exception):
@@ -50,6 +56,29 @@ class JobCrashed(InfrastructureFailure):
     def __init__(self, job_id: str) -> None:
         super().__init__(f"job {job_id} crashed")
         self.job_id = job_id
+
+
+class LeaseExpired(InfrastructureFailure):
+    """The startd reclaimed the slot: no lease renewal arrived in time."""
+
+    fault_status = LEASE_EXPIRED
+
+    def __init__(self, job_id: str, node: str) -> None:
+        super().__init__(f"lease on job {job_id} at {node} expired")
+        self.job_id = job_id
+        self.node = node
+
+
+class ClaimReleased(InfrastructureFailure):
+    """The schedd released the claim (e.g. an orphaned run it no longer
+    recognises); the startd kills the run on receipt."""
+
+    fault_status = CLAIM_LOST
+
+    def __init__(self, job_id: str, node: str) -> None:
+        super().__init__(f"claim on job {job_id} at {node} released")
+        self.job_id = job_id
+        self.node = node
 
 
 def fault_status_of(exc_or_cause: object) -> str | None:

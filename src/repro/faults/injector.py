@@ -40,6 +40,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Any, Callable, Optional
 
+from ..net.fabric import startd_endpoint
 from ..obs import metrics as _metrics
 from ..obs import trace as _trace
 from ..sim import Environment
@@ -120,6 +121,11 @@ class FaultInjector:
         if not self.schedule.events:
             return
         self.env.process(self._driver(), name="fault-injector")
+        if getattr(self.pool, "fabric", None) is not None:
+            # Fabric mode: periodic machine-updates over the network
+            # double as heartbeats, so side-channel heartbeat processes
+            # would mask exactly the staleness the fabric models.
+            return
         collector = self.pool.collector
         for startd in self.pool.startds:
             collector.record_heartbeat(startd.name, self.env.now)
@@ -271,6 +277,9 @@ class FaultInjector:
                 for listener in list(self.device_failed_listeners):
                     listener(node.name, index)
         self.pool.collector.deregister(node.name)
+        fabric = getattr(self.pool, "fabric", None)
+        if fabric is not None:
+            fabric.set_down(startd_endpoint(node.name))
         self.env.process(
             self._restore_node_later(node), name=f"reboot:{node.name}"
         )
@@ -284,6 +293,9 @@ class FaultInjector:
         startd.restore()
         self.pool.collector.reinstate(node.name)
         self.pool.collector.record_heartbeat(node.name, self.env.now)
+        fabric = getattr(self.pool, "fabric", None)
+        if fabric is not None:
+            fabric.set_up(startd_endpoint(node.name))
         for index in range(len(node.devices)):
             for listener in list(self.device_restored_listeners):
                 listener(node.name, index)

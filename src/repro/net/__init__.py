@@ -1,0 +1,39 @@
+"""Simulated message fabric between the condor daemons.
+
+The real COSMIC deployment runs schedd, negotiator, collector, and
+startd as separate daemons over a lossy network. This package routes
+every daemon pair through a seeded, deterministic fabric with per-link
+delay, loss, duplication, reordering, and scripted partitions — plus an
+at-least-once transport (retransmit with seeded backoff) and sequence
+numbers so receivers can reject duplicates and dispatch in order.
+"""
+
+from .fabric import (
+    COLLECTOR,
+    NEGOTIATOR,
+    SCHEDD,
+    FabricStats,
+    Message,
+    MessageFabric,
+    startd_endpoint,
+)
+from .profile import (
+    NetProfile,
+    PartitionSpec,
+    derive_net_seed,
+    parse_partition,
+)
+
+__all__ = [
+    "COLLECTOR",
+    "FabricStats",
+    "Message",
+    "MessageFabric",
+    "NEGOTIATOR",
+    "NetProfile",
+    "PartitionSpec",
+    "SCHEDD",
+    "derive_net_seed",
+    "parse_partition",
+    "startd_endpoint",
+]

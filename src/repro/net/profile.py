@@ -1,0 +1,182 @@
+"""Network fault profiles: the fabric's seeded configuration.
+
+Mirrors :mod:`repro.faults.schedule`: a frozen, picklable profile that
+rides inside experiment task params (so the fabric configuration is part
+of the result-cache key), plus a seed-derivation helper so the network
+stream is decoupled from — but reproducibly derived from — the workload
+seed.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass, field
+
+
+def derive_net_seed(seed: int) -> int:
+    """Derive the fabric's RNG seed from the experiment seed.
+
+    Like :func:`repro.faults.schedule.derive_fault_seed`: a distinct,
+    stable stream per experiment seed, so changing the workload seed
+    changes the network weather too, without the two streams aliasing.
+    """
+    digest = hashlib.sha256(f"net-fabric:{seed}".encode()).digest()
+    return int.from_bytes(digest[:8], "big")
+
+
+@dataclass(frozen=True)
+class PartitionSpec:
+    """A scripted partition window: ``pattern`` is unreachable in [start, end).
+
+    ``pattern`` names the endpoints cut off from the rest of the fabric:
+    an exact endpoint name (``"startd:node3"``), a prefix glob
+    (``"startd:*"``), or ``"*"`` for a full blackout. While the window is
+    active, any message whose source *or* destination matches is dropped
+    at send time (the transport keeps retransmitting, so delivery resumes
+    when the window closes).
+    """
+
+    start_s: float
+    end_s: float
+    pattern: str = "*"
+
+    def __post_init__(self) -> None:
+        if self.start_s < 0:
+            raise ValueError("partition start must be non-negative")
+        if self.end_s <= self.start_s:
+            raise ValueError("partition end must be after its start")
+        if not self.pattern:
+            raise ValueError("partition pattern must be non-empty")
+
+    def matches(self, endpoint: str) -> bool:
+        if self.pattern == "*":
+            return True
+        if self.pattern.endswith("*"):
+            return endpoint.startswith(self.pattern[:-1])
+        return endpoint == self.pattern
+
+    def active(self, now: float) -> bool:
+        return self.start_s <= now < self.end_s
+
+    def cuts(self, src: str, dst: str, now: float) -> bool:
+        """Whether this window severs the ``src`` → ``dst`` link at ``now``."""
+        return self.active(now) and (self.matches(src) or self.matches(dst))
+
+
+def parse_partition(spec: str) -> PartitionSpec:
+    """Parse a CLI partition spec ``START:END:PATTERN``.
+
+    ``PATTERN`` may itself contain colons (endpoint names such as
+    ``startd:node0``), so only the first two fields are split off:
+    ``"120:240:startd:*"`` partitions every startd from 120 s to 240 s.
+    """
+    parts = spec.split(":", 2)
+    if len(parts) != 3:
+        raise ValueError(
+            f"partition spec {spec!r} is not START:END:PATTERN"
+        )
+    try:
+        start, end = float(parts[0]), float(parts[1])
+    except ValueError:
+        raise ValueError(
+            f"partition spec {spec!r} has non-numeric start/end"
+        ) from None
+    return PartitionSpec(start_s=start, end_s=end, pattern=parts[2])
+
+
+@dataclass(frozen=True)
+class NetProfile:
+    """Frozen fabric configuration (rides in experiment cache keys).
+
+    Delay model: each transmission attempt takes
+    ``delay_base_s + U(0, delay_jitter_s)`` one-way; independent draws
+    per attempt mean later sends can overtake earlier ones (reordering),
+    which the receiver's sequence-number buffer straightens out.
+
+    Transport: every message is retransmitted on a seeded exponential
+    backoff (``rto_initial_s`` doubling by ``rto_backoff`` up to
+    ``rto_max_s``) until the sender sees an acknowledgement — HTCondor's
+    "keep trying until the daemon answers" behaviour.
+
+    Leases: a running claim is renewed every ``renew_interval_s``; the
+    startd kills the job when no renewal lands for ``lease_duration_s``
+    past the last renewal's *send* time, and the schedd declares a claim
+    lost after an unacknowledged ``lease_duration_s`` plus a drain wait
+    (see :mod:`repro.condor.claims` for why that ordering is safe).
+    """
+
+    delay_base_s: float = 0.05
+    delay_jitter_s: float = 0.05
+    loss: float = 0.0
+    dup: float = 0.0
+    partitions: tuple[PartitionSpec, ...] = field(default_factory=tuple)
+    rto_initial_s: float = 1.0
+    rto_backoff: float = 2.0
+    rto_max_s: float = 30.0
+    lease_duration_s: float = 30.0
+    renew_interval_s: float = 10.0
+    match_timeout_s: float = 45.0
+    update_interval_s: float = 5.0
+    heartbeat_timeout_s: float = 20.0
+    #: Fraction of retry backoff randomized under the fabric (satellite:
+    #: desynchronize retry storms when many claims die together).
+    retry_jitter: float = 0.25
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.loss < 1.0:
+            raise ValueError("loss must be in [0, 1)")
+        if not 0.0 <= self.dup < 1.0:
+            raise ValueError("dup must be in [0, 1)")
+        if self.delay_base_s < 0 or self.delay_jitter_s < 0:
+            raise ValueError("delays must be non-negative")
+        if self.rto_initial_s <= 0 or self.rto_max_s <= 0:
+            raise ValueError("retransmit timeouts must be positive")
+        if self.rto_backoff < 1.0:
+            raise ValueError("rto_backoff must be >= 1")
+        if self.lease_duration_s <= 0:
+            raise ValueError("lease_duration_s must be positive")
+        if not 0 < self.renew_interval_s < self.lease_duration_s:
+            raise ValueError(
+                "renew_interval_s must be positive and below lease_duration_s"
+            )
+        # A match-timeout at or below the lease duration would let a
+        # revert-and-rematch overlap an orphaned claim's run window: the
+        # orphan's lease expires at claim-activation send time + lease
+        # duration, and the schedd only re-offers the job match_timeout_s
+        # after it processed the match (same instant it sent the
+        # activation). Strict inequality keeps kill-before-rematch.
+        if self.match_timeout_s <= self.lease_duration_s:
+            raise ValueError(
+                "match_timeout_s must exceed lease_duration_s "
+                "(orphaned claims must expire before the job is re-offered)"
+            )
+        if self.update_interval_s <= 0:
+            raise ValueError("update_interval_s must be positive")
+        if self.heartbeat_timeout_s <= self.update_interval_s:
+            raise ValueError(
+                "heartbeat_timeout_s must exceed update_interval_s"
+            )
+        if not 0.0 <= self.retry_jitter <= 1.0:
+            raise ValueError("retry_jitter must be in [0, 1]")
+
+    @classmethod
+    def chaos(
+        cls,
+        loss: float,
+        delay_base_s: float = 0.05,
+        delay_jitter_s: float = 0.1,
+        dup: float | None = None,
+        partitions: tuple[PartitionSpec, ...] = (),
+    ) -> "NetProfile":
+        """A standard chaos profile at a given loss rate.
+
+        Duplication defaults to half the loss rate (lossy links tend to
+        duplicate too — retransmit races at the real transport layer).
+        """
+        return cls(
+            delay_base_s=delay_base_s,
+            delay_jitter_s=delay_jitter_s,
+            loss=loss,
+            dup=loss / 2.0 if dup is None else dup,
+            partitions=tuple(partitions),
+        )

@@ -46,6 +46,7 @@ ACTIVE: Optional["Tracer"] = None
 NEGOTIATOR_TID = 1
 SCHEDULER_TID = 2
 FAULTS_TID = 3
+NET_TID = 4
 #: Job tracks start here; a job's track is ``JOB_TID_BASE + seq``.
 JOB_TID_BASE = 10
 

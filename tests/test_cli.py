@@ -115,6 +115,17 @@ class TestObservabilityFlags:
         assert any(e["ph"] == "X" for e in events)
         assert any(e["ph"] == "M" for e in events)
 
+    def test_audit_run_reports_clean(self, capsys):
+        assert main(["table2", "--job-count", "12", "--audit"]) == 0
+        out = capsys.readouterr().out
+        assert "[audit:" in out
+        assert "0 violation(s)" in out
+
+    def test_audit_with_parallel_jobs_is_an_error(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["fig7", "--job-count", "50", "--audit", "--jobs", "4"])
+        assert "--audit" in capsys.readouterr().err
+
     def test_metrics_writes_summary(self, tmp_path, capsys):
         path = tmp_path / "metrics.txt"
         assert main(["table2", "--job-count", "12", "--metrics", str(path)]) == 0
@@ -122,3 +133,44 @@ class TestObservabilityFlags:
         text = path.read_text()
         assert "schedd.jobs_submitted" in text
         assert "observability summary" in text
+
+
+class TestNetworkFlags:
+    """--net-loss / --net-delay / --net-partition and the consumer guard."""
+
+    def test_netchaos_with_flags_runs(self, capsys):
+        assert main([
+            "ext-netchaos", "--job-count", "12",
+            "--net-loss", "0.05",
+            "--net-delay", "0.02",
+            "--net-partition", "10:20:startd:*",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "X6" in out
+        assert "retrans" in out
+
+    @pytest.mark.parametrize(
+        "flags",
+        [
+            ["--net-loss", "0.05"],
+            ["--net-delay", "0.1"],
+            ["--net-partition", "10:20:*"],
+            ["--fault-rate", "2.0"],
+        ],
+    )
+    def test_flag_without_consumer_is_an_error(self, flags, capsys):
+        # Satellite: a fabric/fault knob passed with an experiment that
+        # would silently ignore it must fail loudly, not run.
+        with pytest.raises(SystemExit):
+            main(["fig7", "--job-count", "50", *flags])
+        assert flags[0] in capsys.readouterr().err
+
+    def test_bad_net_loss_rejected(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["ext-netchaos", "--net-loss", "1.5"])
+        assert "--net-loss" in capsys.readouterr().err
+
+    def test_bad_partition_spec_rejected(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["ext-netchaos", "--net-partition", "bogus"])
+        assert "--net-partition" in capsys.readouterr().err

@@ -26,7 +26,8 @@ class TestRegistry:
             "motivation", "table2", "table3", "fig7", "fig8", "fig9",
             "fig10", "ablation-value", "ablation-knapsack", "ablation-cycle",
             "ablation-placement", "ext-capacity", "ext-faults",
-            "ext-multidevice", "ext-oversubscription", "ext-replication",
+            "ext-multidevice", "ext-netchaos", "ext-oversubscription",
+            "ext-replication",
         }
         assert set(EXPERIMENTS) == expected
 

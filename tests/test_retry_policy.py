@@ -1,6 +1,8 @@
 """Unit tests for RetryPolicy and the schedd's requeue/backoff path."""
 
 import pytest
+from hypothesis import given
+from hypothesis import strategies as st
 
 from repro.condor import (
     BACKOFF,
@@ -67,6 +69,62 @@ class TestRetryPolicy:
             RetryPolicy(base_backoff_s=-1.0)
         with pytest.raises(ValueError):
             RetryPolicy().backoff(0)
+        with pytest.raises(ValueError):
+            RetryPolicy(jitter=1.5)
+        with pytest.raises(ValueError):
+            RetryPolicy(jitter=-0.1)
+
+
+class TestBackoffJitter:
+    """Seeded deterministic jitter: spreads storms, never breaks replays."""
+
+    def test_zero_jitter_and_keyless_calls_are_unchanged(self):
+        plain = RetryPolicy(base_backoff_s=10.0)
+        jittered = RetryPolicy(base_backoff_s=10.0, jitter=0.5)
+        for attempt in (1, 2, 3):
+            assert plain.backoff(attempt, key="job-1") == plain.backoff(attempt)
+            # No key → no draw, even with jitter configured.
+            assert jittered.backoff(attempt) == plain.backoff(attempt)
+
+    def test_distinct_jobs_spread_out(self):
+        # The point of the satellite: sixteen jobs failed by one node
+        # crash must not all re-queue in the same negotiation cycle.
+        policy = RetryPolicy(base_backoff_s=30.0, jitter=0.25, jitter_seed=7)
+        delays = {policy.backoff(1, key=f"job-{i}") for i in range(16)}
+        assert len(delays) > 1
+
+    @given(
+        jitter=st.floats(min_value=0.0, max_value=1.0),
+        seed=st.integers(min_value=0, max_value=2**32 - 1),
+        attempt=st.integers(min_value=1, max_value=8),
+        key=st.text(min_size=1, max_size=20),
+        base=st.floats(min_value=0.1, max_value=100.0),
+        factor=st.floats(min_value=1.0, max_value=4.0),
+    )
+    def test_jittered_delay_is_bounded_and_deterministic(
+        self, jitter, seed, attempt, key, base, factor
+    ):
+        policy = RetryPolicy(
+            base_backoff_s=base, backoff_factor=factor,
+            jitter=jitter, jitter_seed=seed,
+        )
+        undithered = RetryPolicy(
+            base_backoff_s=base, backoff_factor=factor
+        ).backoff(attempt)
+        delay = policy.backoff(attempt, key=key)
+        # Bounded: scaled into [1 - jitter, 1] × the exponential delay.
+        assert undithered * (1.0 - jitter) <= delay <= undithered
+        # Deterministic: same (seed, key, attempt) → same draw, always.
+        assert delay == policy.backoff(attempt, key=key)
+
+    def test_draw_varies_with_seed_key_and_attempt(self):
+        policy = RetryPolicy(base_backoff_s=30.0, jitter=0.5, jitter_seed=1)
+        other_seed = RetryPolicy(base_backoff_s=30.0, jitter=0.5, jitter_seed=2)
+        assert policy.backoff(1, key="j") != other_seed.backoff(1, key="j")
+        assert policy.backoff(1, key="j1") != policy.backoff(1, key="j2")
+        # Attempts 1 and 2 differ by more than the 2× exponential step
+        # alone (the jitter draw is keyed on the attempt too).
+        assert policy.backoff(2, key="j") != 2.0 * policy.backoff(1, key="j")
 
 
 class TestScheddFailurePath:
