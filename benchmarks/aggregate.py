@@ -1,0 +1,56 @@
+"""Merge per-bench ``BENCH_*.json`` files into one summary document.
+
+Every performance bench writes ``benchmarks/results/BENCH_<name>.json``
+in the shared record schema (see ``write_bench_json`` in
+``benchmarks/conftest.py``). CI's bench-aggregate step runs this script
+to fold whichever of those files the job produced into a single
+``BENCH_summary.json`` at the repository root, so trajectory tracking
+across PRs reads one artifact with one schema instead of parsing each
+bench's file.
+
+Usage::
+
+    python benchmarks/aggregate.py [output.json]
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+import sys
+
+RESULTS_DIR = pathlib.Path(__file__).resolve().parent / "results"
+
+
+def aggregate(output: pathlib.Path) -> dict:
+    benches = {}
+    for path in sorted(RESULTS_DIR.glob("BENCH_*.json")):
+        if path.name == "BENCH_summary.json":
+            continue
+        doc = json.loads(path.read_text())
+        benches[doc["bench"]] = doc
+    if not benches:
+        raise SystemExit(f"no BENCH_*.json files under {RESULTS_DIR}")
+    summary = {
+        "schema": "bench-records/v1",
+        "benches": benches,
+        "record_count": sum(len(d["records"]) for d in benches.values()),
+    }
+    output.write_text(json.dumps(summary, indent=2, sort_keys=True) + "\n")
+    return summary
+
+
+def main(argv: list[str]) -> None:
+    output = pathlib.Path(argv[1]) if len(argv) > 1 else pathlib.Path(
+        "BENCH_summary.json"
+    )
+    summary = aggregate(output)
+    names = ", ".join(sorted(summary["benches"]))
+    print(
+        f"merged {len(summary['benches'])} bench file(s) "
+        f"({summary['record_count']} records) into {output}: {names}"
+    )
+
+
+if __name__ == "__main__":
+    main(sys.argv)

@@ -5,11 +5,68 @@ DESIGN.md's experiment index), asserts its qualitative shape, and writes
 the rendered rows to ``benchmarks/results/``. Job counts are scaled down
 by default so the full harness runs in minutes; set ``REPRO_FULL=1`` for
 paper-scale runs (the numbers recorded in EXPERIMENTS.md).
+
+Performance benches additionally emit machine-readable
+``BENCH_<name>.json`` files through :func:`write_bench_json`, all in one
+record schema so CI's bench-aggregate step can merge them into a single
+``BENCH_summary.json`` without per-bench parsing:
+
+.. code-block:: json
+
+    {
+      "bench": "matchmaking",
+      "baseline": "pre-PR matchmaker replica (...)",
+      "records": [
+        {"name": "MCCK@Q=10000", "metric": "cycle_ms",
+         "value": 1.94, "unit": "ms", "baseline": 64.3}
+      ]
+    }
+
+Each record is one measured scalar: ``name`` identifies the cell,
+``metric`` the quantity, ``value``/``unit`` the measurement, and
+``baseline`` the pre-optimization value in the same unit (``null`` when
+there is nothing to compare against).
 """
+
+import json
 
 import pytest
 
-from repro.experiments.common import bench_scale, save_result
+from repro.experiments.common import bench_scale, results_dir, save_result
+
+_RECORD_KEYS = {"name", "metric", "value", "unit", "baseline"}
+
+
+def write_bench_json(
+    bench: str, records: list, baseline_note: str = ""
+) -> None:
+    """Write ``BENCH_<bench>.json`` in the shared record schema."""
+    for record in records:
+        if set(record) != _RECORD_KEYS:
+            raise ValueError(
+                f"bench record keys must be {sorted(_RECORD_KEYS)}, "
+                f"got {sorted(record)}"
+            )
+    payload = {
+        "bench": bench,
+        "baseline": baseline_note or None,
+        "records": records,
+    }
+    directory = results_dir()
+    directory.mkdir(parents=True, exist_ok=True)
+    path = directory / f"BENCH_{bench}.json"
+    path.write_text(json.dumps(payload, indent=2) + "\n")
+
+
+def bench_record(name, metric, value, unit, baseline=None) -> dict:
+    """One schema-conforming bench record (see module docstring)."""
+    return {
+        "name": name,
+        "metric": metric,
+        "value": value,
+        "unit": unit,
+        "baseline": baseline,
+    }
 
 
 @pytest.fixture(scope="session")
@@ -26,3 +83,9 @@ def record_result(capsys):
         print(f"\n{text}\n[saved to {path}]")
 
     return _record
+
+
+@pytest.fixture()
+def record_bench_json():
+    """Write a bench's machine-readable records (shared schema)."""
+    return write_bench_json

@@ -21,8 +21,9 @@ modes run on identical pre-cycle state and must produce identical
 *decisions*.
 
 Rendered rows land in ``benchmarks/results/matchmaking.txt`` plus
-machine-readable ``BENCH_matchmaking.json`` (with the baseline numbers
-embedded) so future PRs can extend the trajectory. Depths beyond 1k are
+machine-readable ``BENCH_matchmaking.json`` (shared record schema, see
+``benchmarks/conftest.py``, with the baseline numbers embedded) so
+future PRs can extend the trajectory. Depths beyond 1k are
 skipped under ``REPRO_SCALE`` to keep CI smoke quick; the acceptance
 assertion — >= 3x on the 10k MCCK cell — runs whenever that cell is
 measured.
@@ -31,13 +32,14 @@ measured.
 from __future__ import annotations
 
 import gc
-import json
 import operator
 import os
 import random
 import time
 
 import numpy as np
+
+from conftest import bench_record
 
 from repro.cluster import ComputeNode
 from repro.condor import (
@@ -51,7 +53,6 @@ from repro.condor import (
 from repro.condor.classad import Literal, symmetric_match
 from repro.condor.schedd import IDLE
 from repro.core import DevicePacker, KnapsackClusterScheduler
-from repro.experiments.common import results_dir
 from repro.sim import Environment
 from repro.workloads import JobProfile, OffloadPhase
 
@@ -301,7 +302,7 @@ def _render(rows: list[dict]) -> str:
     return "\n".join(lines)
 
 
-def test_bench_matchmaking(record_result):
+def test_bench_matchmaking(record_result, record_bench_json):
     rows = [
         _measure_cell(configuration, q)
         for q in _queue_depths()
@@ -309,29 +310,37 @@ def test_bench_matchmaking(record_result):
     ]
     record_result("matchmaking", _render(rows))
 
-    payload = {
-        "nodes": NODES,
-        "slots_per_node": SLOTS_PER_NODE,
-        "samples": SAMPLES,
-        "baseline": "pre-PR matchmaker replica (interpreted ClassAds, "
-        "full machine scans, dict ad rebuilds, per-cycle queue sort)",
-        "cells": [
-            {
-                "configuration": r["configuration"],
-                "Q": r["Q"],
-                "optimized_ms": round(r["optimized_ms"], 3),
-                "baseline_ms": round(r["baseline_ms"], 3),
-                "speedup": round(r["speedup"], 2),
-                "matched": r["matched"],
-                "evals": r["evals"],
-                "baseline_evals": r["baseline_evals"],
-                "pin_routed": r["pin_routed"],
-            }
-            for r in rows
-        ],
-    }
-    json_path = results_dir() / "BENCH_matchmaking.json"
-    json_path.write_text(json.dumps(payload, indent=2) + "\n")
+    records = []
+    for r in rows:
+        name = f"{r['configuration']}@Q={r['Q']}"
+        records += [
+            bench_record(
+                name,
+                "cycle_ms",
+                round(r["optimized_ms"], 3),
+                "ms",
+                baseline=round(r["baseline_ms"], 3),
+            ),
+            bench_record(
+                name,
+                "evals",
+                r["evals"],
+                "count",
+                baseline=r["baseline_evals"],
+            ),
+            bench_record(name, "matched", r["matched"], "count"),
+            bench_record(name, "pin_routed", r["pin_routed"], "count"),
+        ]
+    record_bench_json(
+        "matchmaking",
+        records,
+        baseline_note=(
+            f"pre-PR matchmaker replica on a {NODES}-node pool "
+            f"({SLOTS_PER_NODE} slots/node, best of {SAMPLES}): "
+            "interpreted ClassAds, full machine scans, dict ad rebuilds, "
+            "per-cycle queue sort"
+        ),
+    )
 
     cells = {(r["configuration"], r["Q"]): r for r in rows}
     for r in rows:

@@ -11,17 +11,18 @@ Both are compared against the pre-PR numbers measured on the same
 machine right before the overhaul (commit "deterministic fault
 injection…"), and the rendered figures land in
 ``benchmarks/results/sim_kernel.txt`` plus machine-readable
-``BENCH_kernel.json`` so future PRs can extend the trajectory.
+``BENCH_kernel.json`` (shared record schema, see
+``benchmarks/conftest.py``) so future PRs can extend the trajectory.
 
 The hard assertion is a loose regression tripwire (the baseline
 constants are machine-specific); the committed results file records the
 actual speedup on the reference machine.
 """
 
-import json
 import time
 
-from repro.experiments.common import results_dir
+from conftest import bench_record
+
 from repro.experiments.fig8 import tasks as fig8_tasks
 from repro.experiments.runner import compute_task
 from repro.sim import Environment
@@ -70,7 +71,7 @@ def _fig8_cell():
     raise AssertionError("fig8 grid no longer contains MCCK/normal")
 
 
-def test_bench_sim_kernel(record_result):
+def test_bench_sim_kernel(record_result, record_bench_json):
     # -- microbenchmark ----------------------------------------------------
     rates = []
     fired = 0
@@ -109,19 +110,31 @@ def test_bench_sim_kernel(record_result):
     )
     record_result("sim_kernel", text)
 
-    payload = {
-        "events_per_sec": round(events_per_sec),
-        "events_fired": fired,
-        "fig8_cell_seconds": round(cell_seconds, 4),
-        "fig8_cell_speedup": round(cell_speedup, 3),
-        "kernel_speedup": round(kernel_speedup, 3),
-        "baseline": {
-            "events_per_sec": PRE_PR_EVENTS_PER_SEC,
-            "fig8_cell_seconds": PRE_PR_FIG8_CELL_SECONDS,
-        },
-    }
-    json_path = results_dir() / "BENCH_kernel.json"
-    json_path.write_text(json.dumps(payload, indent=2) + "\n")
+    record_bench_json(
+        "kernel",
+        [
+            bench_record(
+                "microbench",
+                "events_per_sec",
+                round(events_per_sec),
+                "events/s",
+                baseline=PRE_PR_EVENTS_PER_SEC,
+            ),
+            bench_record(
+                "microbench", "events_fired", fired, "events"
+            ),
+            bench_record(
+                "fig8-MCCK-normal",
+                "cell_seconds",
+                round(cell_seconds, 4),
+                "s",
+                baseline=PRE_PR_FIG8_CELL_SECONDS,
+            ),
+        ],
+        baseline_note=(
+            "pre-overhaul kernel on the reference machine (best of 5)"
+        ),
+    )
 
     assert events_per_sec > 0
     assert result["makespan"] > 0

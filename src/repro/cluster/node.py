@@ -93,36 +93,91 @@ class ComputeNode:
                 )
             )
 
-        self.devices: list[XeonPhi] = [
-            XeonPhi(env, spec=spec, contention=contention, name=f"{name}/mic{i}")
-            for i in range(num_devices)
-        ]
-        self.cosmics: list[Optional[Cosmic]] = []
-        self.runtimes: list[OffloadRuntime] = []
-        self._locks: list[Resource] = []
+        self.num_devices = num_devices
+        self._contention = contention
+        self._scif = scif
+        self._memory_tolerance = memory_tolerance
+        self._coi_base_mb = coi_base_mb
         self._running: list[int] = [0] * num_devices
+        # The device stack (cards, middleware, runtimes, locks) is built
+        # on first use: a 1000-node pool where most nodes never receive
+        # a job only ever pays for the nodes that do. Snapshots for
+        # pristine nodes are synthesized from the spec (see
+        # device_states). With a metrics registry active the stack is
+        # built eagerly, so per-device telemetry series are adopted at
+        # construction time exactly as before.
+        self._devices: Optional[list[XeonPhi]] = None
+        self._cosmics: Optional[list[Optional[Cosmic]]] = None
+        self._runtimes: Optional[list[OffloadRuntime]] = None
+        self._device_locks: Optional[list[Resource]] = None
+        if _metrics.ACTIVE is not None:
+            self._materialize()
 
-        for device in self.devices:
+    def _materialize(self) -> None:
+        if self._devices is not None:
+            return
+        env, name, mode, spec = self.env, self.name, self.mode, self.spec
+        self._devices = [
+            XeonPhi(
+                env, spec=spec, contention=self._contention,
+                name=f"{name}/mic{i}",
+            )
+            for i in range(self.num_devices)
+        ]
+        self._cosmics = []
+        self._runtimes = []
+        self._device_locks = []
+        for device in self._devices:
             if mode == "cosmic":
                 cosmic = Cosmic(
                     env,
                     device,
-                    enforcer=DeclaredMemoryEnforcer(tolerance=memory_tolerance),
+                    enforcer=DeclaredMemoryEnforcer(
+                        tolerance=self._memory_tolerance
+                    ),
                 )
                 runtime = OffloadRuntime(
                     env,
                     device,
-                    scif=scif,
+                    scif=self._scif,
                     gate=cosmic,
                     enforcer=cosmic.enforcer,
-                    coi_base_mb=coi_base_mb,
+                    coi_base_mb=self._coi_base_mb,
                 )
             else:
                 cosmic = None
-                runtime = OffloadRuntime(env, device, scif=scif, coi_base_mb=coi_base_mb)
-            self.cosmics.append(cosmic)
-            self.runtimes.append(runtime)
-            self._locks.append(Resource(env, capacity=1))
+                runtime = OffloadRuntime(
+                    env, device, scif=self._scif,
+                    coi_base_mb=self._coi_base_mb,
+                )
+            self._cosmics.append(cosmic)
+            self._runtimes.append(runtime)
+            self._device_locks.append(Resource(env, capacity=1))
+
+    @property
+    def materialized(self) -> bool:
+        """Whether the device stack has been built (nodes start pristine)."""
+        return self._devices is not None
+
+    @property
+    def devices(self) -> list[XeonPhi]:
+        self._materialize()
+        return self._devices
+
+    @property
+    def cosmics(self) -> list[Optional[Cosmic]]:
+        self._materialize()
+        return self._cosmics
+
+    @property
+    def runtimes(self) -> list[OffloadRuntime]:
+        self._materialize()
+        return self._runtimes
+
+    @property
+    def _locks(self) -> list[Resource]:
+        self._materialize()
+        return self._device_locks
 
     # -- failure surface -------------------------------------------------------
 
@@ -147,6 +202,28 @@ class ComputeNode:
     # -- NodeExecutor interface ------------------------------------------------
 
     def device_states(self) -> list[DeviceSnapshot]:
+        if self._devices is None:
+            # Pristine node: no job ever landed here, so every card is
+            # healthy, empty, and at full capacity — synthesized from the
+            # spec, exactly what a freshly built stack would report.
+            spec = self.spec
+            cosmic_free = (
+                spec.usable_memory_mb
+                if self.mode == "cosmic"
+                else float(spec.usable_memory_mb)
+            )
+            return [
+                DeviceSnapshot(
+                    index=index,
+                    memory_mb=float(spec.usable_memory_mb),
+                    free_declared_mb=cosmic_free,
+                    resident_jobs=0,
+                    hardware_threads=spec.hardware_threads,
+                    claimed_exclusive=False,
+                    failed=False,
+                )
+                for index in range(self.num_devices)
+            ]
         states = []
         for index, device in enumerate(self.devices):
             cosmic = self.cosmics[index]
@@ -170,6 +247,27 @@ class ComputeNode:
                 )
             )
         return states
+
+    def device_utilizations(self, horizon: float) -> list[float]:
+        """Per-card busy-core fractions over ``[0, horizon]``.
+
+        Pristine nodes report zeros without materializing their stack —
+        the end-of-run collection pass must not inflate a mostly-idle
+        big cluster's footprint.
+        """
+        if self._devices is None:
+            return [0.0] * self.num_devices
+        return [
+            device.telemetry.core_utilization(device.spec.cores, 0.0, horizon)
+            for device in self._devices
+        ]
+
+    @property
+    def oom_kills(self) -> int:
+        """Total OOM kills across this node's cards (0 while pristine)."""
+        if self._devices is None:
+            return 0
+        return sum(device.telemetry.oom_kills for device in self._devices)
 
     def execute(
         self,
@@ -284,5 +382,5 @@ class ComputeNode:
     def __repr__(self) -> str:
         return (
             f"<ComputeNode {self.name} mode={self.mode} "
-            f"devices={len(self.devices)} running={sum(self._running)}>"
+            f"devices={self.num_devices} running={sum(self._running)}>"
         )

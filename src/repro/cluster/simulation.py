@@ -210,11 +210,13 @@ def _collect(
     packing_decisions: int = 0,
     injector: Optional[FaultInjector] = None,
 ) -> SimulationResult:
-    devices = [device for node in nodes for device in node.devices]
     horizon = makespan if makespan > 0 else 1.0
+    # Per-node accessors short-circuit for pristine (never-used) nodes,
+    # so collecting from a mostly-idle big cluster stays cheap.
     utilizations = [
-        device.telemetry.core_utilization(device.spec.cores, 0.0, horizon)
-        for device in devices
+        utilization
+        for node in nodes
+        for utilization in node.device_utilizations(horizon)
     ]
     records = [
         record
@@ -223,7 +225,7 @@ def _collect(
     ]
     results = [record.result for record in records]
     memory_limit_kills = sum(1 for r in results if r.status == "memory-limit")
-    oom_kills = sum(device.telemetry.oom_kills for device in devices)
+    oom_kills = sum(node.oom_kills for node in nodes)
     retried_completed = sum(
         1 for record in records
         if record.status == COMPLETED and record.attempts > 0

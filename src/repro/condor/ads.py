@@ -31,7 +31,7 @@ def pin_requirements(node: str) -> str:
     return f'TARGET.Name == "{slot_name(node)}" && TARGET.FreeSlots >= 1'
 
 
-@dataclass
+@dataclass(slots=True)
 class DeviceSnapshot:
     """Negotiation-time view of one coprocessor on a node."""
 
@@ -45,7 +45,7 @@ class DeviceSnapshot:
     failed: bool = False
 
 
-@dataclass
+@dataclass(slots=True)
 class MachineSnapshot:
     """Negotiation-time view of one compute node (all its slots).
 

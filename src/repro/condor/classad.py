@@ -597,18 +597,29 @@ def _unescape(body: str) -> str:
 #: (parking expressions, per-node pins) tens of thousands of times.
 _PARSE_CACHE: dict[str, Expr] = {}
 #: Cache cap: qedit strings are drawn from a small fixed vocabulary, so
-#: this should never trip; it bounds memory if someone parses unbounded
-#: distinct inputs.
+#: eviction should be rare; it bounds memory if someone parses unbounded
+#: distinct inputs. Eviction is LRU (hits refresh recency), so the hot
+#: vocabulary survives a stream of one-off strings instead of being
+#: wiped wholesale by a clear-all.
 _PARSE_CACHE_LIMIT = 4096
+
+#: LRU evictions from the parse memo since process start.
+parse_cache_evictions = 0
 
 
 def parse(text: str) -> Expr:
-    """Parse a ClassAd expression string into an AST (memoized)."""
+    """Parse a ClassAd expression string into an AST (memoized, LRU)."""
+    global parse_cache_evictions
     expr = _PARSE_CACHE.get(text)
     if expr is None:
         expr = _Parser(tokenize(text)).parse()
         if len(_PARSE_CACHE) >= _PARSE_CACHE_LIMIT:
-            _PARSE_CACHE.clear()
+            _PARSE_CACHE.pop(next(iter(_PARSE_CACHE)))
+            parse_cache_evictions += 1
+        _PARSE_CACHE[text] = expr
+    else:
+        # Dict order is recency order: re-append the hit entry.
+        del _PARSE_CACHE[text]
         _PARSE_CACHE[text] = expr
     return expr
 

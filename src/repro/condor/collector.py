@@ -26,7 +26,7 @@ from typing import Optional
 
 from ..obs import metrics as _metrics
 from ..obs import trace as _trace
-from .ads import MachineSnapshot, copy_snapshot, slot_name
+from .ads import MachineSnapshot, copy_snapshot, machine_ad, slot_name
 from .startd import Startd
 
 #: Index value for a slot name claimed by several nodes (names differing
@@ -78,23 +78,58 @@ class Collector:
         #: Staleness drops / re-registrations observed (transitions).
         self.stale_drops = 0
         self.reregistrations = 0
+        #: Delta-maintained candidate set: names of nodes that are alive,
+        #: not deregistered, and have at least one free host slot. Every
+        #: job Requirements shape includes ``TARGET.FreeSlots >= 1``, so
+        #: matchmaking decisions restricted to this set are identical to
+        #: a full scan; startds push 0<->free transitions as they happen.
+        self._free: set[str] = set()
+        #: Registration order, so candidate lists keep the order
+        #: :meth:`snapshots` would have produced.
+        self._reg_index: dict[str, int] = {}
+        #: Static lowercased slot-name -> startd map (collisions map to
+        #: :data:`AMBIGUOUS_NAME` permanently; the negotiator falls back
+        #: to a scan, which decides identically).
+        self._name_map: dict[str, object] = {}
 
     def register(self, startd: Startd) -> None:
         if startd.name in self._startds:
             raise ValueError(f"node {startd.name!r} already registered")
+        self._reg_index[startd.name] = len(self._startds)
         self._startds[startd.name] = startd
+        key = slot_name(startd.name).lower()
+        self._name_map[key] = (
+            AMBIGUOUS_NAME if key in self._name_map else startd
+        )
+        startd.watcher = self
+        self.refresh_membership(startd)
 
     def deregister(self, name: str) -> None:
         """Drop a crashed node from matchmaking (it stays in the registry)."""
         if name not in self._startds:
             raise KeyError(f"node {name!r} is not registered")
         self._dead.add(name)
+        self._free.discard(name)
 
     def reinstate(self, name: str) -> None:
         """Readmit a rebooted node to matchmaking."""
         if name not in self._startds:
             raise KeyError(f"node {name!r} is not registered")
         self._dead.discard(name)
+        self.refresh_membership(self._startds[name])
+
+    def refresh_membership(self, startd: Startd) -> None:
+        """Re-derive one node's presence in the free-candidate set.
+
+        Called on registration and by the startd itself whenever its
+        free-slot count crosses zero or its liveness flips, keeping the
+        set O(1)-current without any per-cycle rebuild.
+        """
+        name = startd.name
+        if startd.alive and name not in self._dead and startd.free_slots > 0:
+            self._free.add(name)
+        else:
+            self._free.discard(name)
 
     def record_heartbeat(self, name: str, now: float) -> None:
         """Note a liveness report from ``name`` at simulation time ``now``."""
@@ -221,9 +256,88 @@ class Collector:
         snapshots = self.snapshots(now)
         return snapshots, build_name_index(snapshots)
 
+    def live_view(self, use_index: bool) -> Optional["LiveCycleView"]:
+        """A lazy per-cycle view over the delta-maintained live sets.
+
+        Only available when neither heartbeat staleness nor fabric store
+        mode is in play — both need the per-query full walk (staleness
+        transitions are observable; stored ads shadow live state). The
+        returned view builds snapshots on demand, so a cycle that never
+        probes a machine never pays for it.
+        """
+        if self.heartbeat_timeout is not None or self._use_store:
+            return None
+        return LiveCycleView(self, use_index)
+
     def __len__(self) -> int:
         return len(self._startds)
 
     def __repr__(self) -> str:
         dead = len(self._dead)
         return f"<Collector nodes={len(self._startds)} dead={dead}>"
+
+
+class LiveCycleView:
+    """One negotiation cycle's lazy window onto the collector.
+
+    Snapshots and machine ads are built on first use and cached for the
+    cycle, shared between the candidate scan and the pin-index lookup so
+    deductions land on one object per node. Restricting candidates to
+    free-slot nodes is decision-identical to the historical full scan
+    because every job Requirements shape includes
+    ``TARGET.FreeSlots >= 1`` (only the per-cycle evaluation *count*
+    observed by the profiler shrinks).
+    """
+
+    __slots__ = ("_collector", "_snaps", "_ads", "_candidates", "has_index")
+
+    def __init__(self, collector: Collector, use_index: bool) -> None:
+        self._collector = collector
+        self._snaps: dict[str, MachineSnapshot] = {}
+        self._ads: dict[int, object] = {}
+        self._candidates: Optional[list[MachineSnapshot]] = None
+        self.has_index = use_index
+
+    def _snapshot_of(self, startd: Startd) -> MachineSnapshot:
+        snap = self._snaps.get(startd.name)
+        if snap is None:
+            snap = startd.snapshot()
+            self._snaps[startd.name] = snap
+        return snap
+
+    def candidates(self) -> list[MachineSnapshot]:
+        """Snapshots of live free-slot nodes, in registration order."""
+        if self._candidates is None:
+            collector = self._collector
+            startds = collector._startds
+            names = sorted(
+                collector._free, key=collector._reg_index.__getitem__
+            )
+            self._candidates = [
+                self._snapshot_of(startds[name]) for name in names
+            ]
+        return self._candidates
+
+    def lookup(self, key: str):
+        """Pin-index lookup: snapshot, ``None`` (miss) or AMBIGUOUS_NAME.
+
+        A miss proves no live machine advertises the name; a hit is the
+        only machine that can satisfy ``TARGET.Name == <literal>``. Full
+        nodes resolve too (their snapshot is built on demand): the pin
+        probe then fails on ``FreeSlots >= 1`` exactly as the historical
+        index over all live snapshots did.
+        """
+        entry = self._collector._name_map.get(key)
+        if entry is None or entry is AMBIGUOUS_NAME:
+            return entry
+        if not self._collector.is_alive(entry.name):
+            return None
+        return self._snapshot_of(entry)
+
+    def ad(self, snapshot: MachineSnapshot):
+        """The (cached) live machine-ad view for ``snapshot``."""
+        view = self._ads.get(id(snapshot))
+        if view is None:
+            view = machine_ad(snapshot)
+            self._ads[id(snapshot)] = view
+        return view

@@ -65,6 +65,9 @@ CompiledExpr = Callable[[EvalContext], Value]
 #: reference to the Expr so its id can never be recycled while cached.
 #: Parse-memoized ASTs make this effectively a per-source-string cache;
 #: the cap only matters if unbounded distinct expressions are compiled.
+#: Eviction is LRU (hits refresh recency), so long-lived shared ASTs —
+#: the machine Requirements, the parking literal — never get wiped by a
+#: burst of one-off expressions the way the old clear-all did.
 _CACHE: dict[int, tuple[Expr, CompiledExpr, bool]] = {}
 _CACHE_LIMIT = 4096
 
@@ -75,6 +78,8 @@ _PLANS: dict[int, tuple[Expr, "RequirementsPlan"]] = {}
 #: :class:`~repro.sim.profile.SimProfiler`, which reports per-run).
 cache_hits = 0
 cache_misses = 0
+#: LRU evictions across the closure and plan caches since process start.
+cache_evictions = 0
 
 _ARITH = BinaryOp._arith
 _COMPARE = BinaryOp._compare
@@ -99,21 +104,28 @@ def compile_expr(expr: Expr) -> CompiledExpr:
 
 
 def _compiled(expr: Expr) -> tuple[CompiledExpr, bool]:
-    global cache_hits, cache_misses
+    global cache_hits, cache_misses, cache_evictions
     prof = _profile.ACTIVE
-    entry = _CACHE.get(id(expr))
+    key = id(expr)
+    entry = _CACHE.get(key)
     if entry is not None:
         cache_hits += 1
         if prof is not None:
             prof.compile_hits += 1
+        # Dict order is recency order: re-append the hit entry.
+        del _CACHE[key]
+        _CACHE[key] = entry
         return entry[1], entry[2]
     cache_misses += 1
     if prof is not None:
         prof.compile_misses += 1
     fn, const = _build(expr)
     if len(_CACHE) >= _CACHE_LIMIT:
-        _CACHE.clear()
-    _CACHE[id(expr)] = (expr, fn, const)
+        _CACHE.pop(next(iter(_CACHE)))
+        cache_evictions += 1
+        if prof is not None:
+            prof.compile_evictions += 1
+    _CACHE[key] = (expr, fn, const)
     return fn, const
 
 
@@ -159,16 +171,25 @@ class RequirementsPlan:
 
 
 def requirements_plan(expr: Expr) -> RequirementsPlan:
-    """Analyze a Requirements expression (memoized per AST node)."""
-    entry = _PLANS.get(id(expr))
+    """Analyze a Requirements expression (memoized per AST node, LRU)."""
+    global cache_evictions
+    key = id(expr)
+    entry = _PLANS.get(key)
     if entry is not None:
+        # Dict order is recency order: re-append the hit entry.
+        del _PLANS[key]
+        _PLANS[key] = entry
         return entry[1]
     fn, const = _compiled(expr)
     never = const and fn(_FOLD_CTX) is not True
     plan = RequirementsPlan(fn, never, _pin_literal(expr))
     if len(_PLANS) >= _CACHE_LIMIT:
-        _PLANS.clear()
-    _PLANS[id(expr)] = (expr, plan)
+        _PLANS.pop(next(iter(_PLANS)))
+        cache_evictions += 1
+        prof = _profile.ACTIVE
+        if prof is not None:
+            prof.compile_evictions += 1
+    _PLANS[key] = (expr, plan)
     return plan
 
 
@@ -471,6 +492,7 @@ def cache_info() -> dict[str, int]:
     return {
         "hits": cache_hits,
         "misses": cache_misses,
+        "evictions": cache_evictions,
         "size": len(_CACHE),
         "plans": len(_PLANS),
     }

@@ -65,6 +65,39 @@ class CycleStats:
     full_scans: int = 0
 
 
+class SnapshotCycleView:
+    """Cycle view over an eagerly-built snapshot list.
+
+    Used in fabric mode (the negotiator's view is whatever snapshot
+    response last made it through the network) and whenever the
+    collector cannot serve its delta-maintained live view (heartbeat
+    staleness or store mode need the historical full walk). Preserves
+    the historical behaviour exactly: candidates are *all* live
+    snapshots and machine ads are views over them.
+    """
+
+    __slots__ = ("_snapshots", "_index", "_ads", "has_index")
+
+    def __init__(self, snapshots, index) -> None:
+        self._snapshots = snapshots
+        self._index = index
+        self._ads: dict[int, object] = {}
+        self.has_index = index is not None
+
+    def candidates(self):
+        return self._snapshots
+
+    def lookup(self, key: str):
+        return self._index.get(key)
+
+    def ad(self, snapshot):
+        view = self._ads.get(id(snapshot))
+        if view is None:
+            view = machine_ad(snapshot)
+            self._ads[id(snapshot)] = view
+        return view
+
+
 class PlacementPolicy:
     """Chooses a (node, device, exclusive) among the matched snapshots."""
 
@@ -391,18 +424,29 @@ class Negotiator:
             # the stored view), and ask for a fresh one for next cycle.
             snapshots = [copy_snapshot(s) for s in self._machine_view]
             index = build_name_index(snapshots) if self.use_pin_index else None
+            view = SnapshotCycleView(snapshots, index)
             self._request_snapshots()
-        elif self.use_pin_index:
-            snapshots, index = self.collector.indexed_snapshots(self.env.now)
         else:
-            snapshots = self.collector.snapshots(self.env.now)
-            index = None
+            # Fast path: the collector's delta-maintained live view,
+            # lazy per machine — a cycle's cost scales with the machines
+            # it actually probes, not the cluster size.
+            view = self.collector.live_view(self.use_pin_index)
+            if view is None:
+                if self.use_pin_index:
+                    snapshots, index = self.collector.indexed_snapshots(
+                        self.env.now
+                    )
+                else:
+                    snapshots = self.collector.snapshots(self.env.now)
+                    index = None
+                view = SnapshotCycleView(snapshots, index)
         # Machine ads are live views over the snapshots: a deduction is
         # visible to the next probe without rebuilding anything.
-        ads = {id(snapshot): machine_ad(snapshot) for snapshot in snapshots}
         # Resources only change on deduction, so exhaustion is
-        # recomputed after each match rather than per pending job.
-        exhausted = self.policy.exhausted(snapshots)
+        # recomputed after each match rather than per pending job — and
+        # computed lazily, so a cycle with nothing pending builds no
+        # snapshots at all (the O(1) idle-pool floor).
+        exhausted: Optional[bool] = None
         # The queue walk is the cycle's O(jobs) floor — with 10k+ jobs
         # parked by the external scheduler, per-record work must stay at
         # a couple of dict hits. Local counters (folded into ``stats``
@@ -411,7 +455,10 @@ class Negotiator:
         prefilter = policy.prefilter
         inflight = self._inflight
         parked = prefiltered = examined = in_flight = 0
-        for record in self.schedd.pending():
+        pending = self.schedd.pending() if self.schedd.idle_jobs else ()
+        for record in pending:
+            if exhausted is None:
+                exhausted = policy.exhausted(view.candidates())
             if exhausted:
                 break
             if inflight and record.job_id in inflight:
@@ -436,11 +483,11 @@ class Negotiator:
             if plan.never_matches:
                 parked += 1
                 continue
-            if not prefilter(record, snapshots):
+            if not prefilter(record, view.candidates()):
                 prefiltered += 1
                 continue
             examined += 1
-            placement = self._match(record, snapshots, ads, index, plan, stats)
+            placement = self._match(record, view, plan, stats)
             if placement is None:
                 continue
             snapshot, device_index, exclusive = placement
@@ -450,7 +497,7 @@ class Negotiator:
                 exclusive,
                 record.profile.declared_memory_mb,
             )
-            exhausted = policy.exhausted(snapshots)
+            exhausted = policy.exhausted(view.candidates())
             if self._fabric is None:
                 startd = self.collector.startd(snapshot.node)
                 if not startd.alive:
@@ -554,11 +601,11 @@ class Negotiator:
             on_delivered=self._match_delivered,
         )
 
-    def _match(self, record: JobRecord, snapshots, ads, index, plan, stats):
-        if index is not None and plan.pin_name is not None:
-            pinned = index.get(plan.pin_name)
+    def _match(self, record: JobRecord, view, plan, stats):
+        if view.has_index and plan.pin_name is not None:
+            pinned = view.lookup(plan.pin_name)
             if pinned is not AMBIGUOUS_NAME:
-                # The index covers every live snapshot, so a miss proves
+                # The index covers every live machine, so a miss proves
                 # no machine advertises the pinned name, and a hit is the
                 # only machine that can satisfy ``TARGET.Name == ...`` —
                 # one matchmaking probe replaces the full scan.
@@ -566,16 +613,17 @@ class Negotiator:
                 if pinned is None:
                     return None
                 stats.evals += 1
-                if symmetric_match(record.ad, ads[id(pinned)]):
+                if symmetric_match(record.ad, view.ad(pinned)):
                     return self.policy.place(record, [pinned])
                 return None
             # Two live names collide case-insensitively: scan instead.
+        snapshots = view.candidates()
         stats.full_scans += 1
         stats.evals += len(snapshots)
         candidates = [
             snapshot
             for snapshot in snapshots
-            if symmetric_match(record.ad, ads[id(snapshot)])
+            if symmetric_match(record.ad, view.ad(snapshot))
         ]
         if not candidates:
             return None

@@ -309,6 +309,15 @@ class Schedd:
     def unfinished_jobs(self) -> int:
         return self._unfinished
 
+    @property
+    def idle_jobs(self) -> int:
+        """Jobs currently idle (the size of :meth:`pending`'s result).
+
+        Maintained incrementally so an idle-pool negotiation cycle can
+        skip the O(queue) FIFO walk entirely.
+        """
+        return self._idle
+
     # -- qedit -------------------------------------------------------------
 
     def qedit(self, job_id: str, attr: str, expression: str) -> None:

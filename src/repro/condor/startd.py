@@ -90,6 +90,14 @@ class Startd:
         self.claim_agent: Optional[Any] = None
         #: Fabric mode only: job_id -> lease for leased runs.
         self._leases: dict[str, Any] = {}
+        #: Set by :meth:`Collector.register`: receives membership
+        #: refreshes when the free-slot count crosses zero or liveness
+        #: flips, so the collector's candidate set stays delta-current.
+        self.watcher: Optional[Any] = None
+
+    def _notify_watcher(self) -> None:
+        if self.watcher is not None:
+            self.watcher.refresh_membership(self)
 
     @property
     def name(self) -> str:
@@ -201,6 +209,8 @@ class Startd:
         if exclusive and device_index is not None:
             self._exclusive_claims.add(device_index)
         self._busy_slots += 1
+        if self._busy_slots == self.slots:
+            self._notify_watcher()
         self.started_jobs += 1
         auditor = _audit.ACTIVE
         if auditor is not None:
@@ -243,6 +253,7 @@ class Startd:
         ``finally`` as the interrupts land.
         """
         self.alive = False
+        self._notify_watcher()
         hit = 0
         for job_id, (_record, proc, _device) in list(self._active.items()):
             if proc.is_alive:
@@ -253,6 +264,7 @@ class Startd:
     def restore(self) -> None:
         """Bring a crashed node back into service."""
         self.alive = True
+        self._notify_watcher()
 
     # -- the starter ---------------------------------------------------------
 
@@ -305,6 +317,8 @@ class Startd:
         finally:
             self._active.pop(record.job_id, None)
             self._busy_slots -= 1
+            if self._busy_slots == self.slots - 1:
+                self._notify_watcher()
             if exclusive and device_index is not None:
                 self._exclusive_claims.discard(device_index)
             lease = self._leases.pop(record.job_id, None)

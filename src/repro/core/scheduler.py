@@ -19,7 +19,9 @@ prescribes ("we do not assume knowledge of job execution times").
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass, field
+from heapq import merge as _heapq_merge
 from typing import Optional
 
 from ..condor.ads import pin_requirements
@@ -27,6 +29,7 @@ from ..condor.pool import CondorPool
 from ..condor.schedd import IDLE, JobRecord, job_tid
 from ..obs import metrics as _metrics
 from ..obs import trace as _trace
+from ..sim import profile as _profile
 from .packer import DevicePacker, DevicePacking
 
 #: Requirements expression that matches no machine (a parked job).
@@ -87,6 +90,14 @@ class KnapsackClusterScheduler:
         self._pending_ordered = True
         self._last_fifo_key: tuple[float, int] = (float("-inf"), 0)
         self._parked: set[str] = set()
+        # Weight-bucketed view of the same index: bucket b holds jobs
+        # whose declared memory lies in [2^(b-1), 2^b). A repack with F
+        # MB free merges only buckets that can contain fitting jobs, so
+        # its cost tracks the *fitting* queue, not the whole backlog.
+        self._buckets: dict[int, dict[str, JobRecord]] = {}
+        #: Pending-index traffic for the profiler's scheduler section.
+        self.index_jobs_examined = 0
+        self.index_jobs_skipped = 0
         # Same-timestep completions coalesce into one repack pass.
         self._dirty_devices: set[tuple[str, int]] = set()
         self._repack_scheduled = False
@@ -138,6 +149,11 @@ class KnapsackClusterScheduler:
 
     # -- pending-job index -----------------------------------------------------
 
+    @staticmethod
+    def _bucket_key(declared_mb: float) -> int:
+        # frexp puts declared in [2^(b-1), 2^b); 0 MB lands in bucket 0.
+        return math.frexp(declared_mb)[1]
+
     def _index_add(self, record: JobRecord) -> None:
         key = (record.profile.submit_time, record.seq)
         if key < self._last_fifo_key:
@@ -146,6 +162,20 @@ class KnapsackClusterScheduler:
         else:
             self._last_fifo_key = key
         self._pending_index[record.job_id] = record
+        bucket = self._bucket_key(record.profile.declared_memory_mb)
+        self._buckets.setdefault(bucket, {})[record.job_id] = record
+
+    def _index_remove(self, job_id: str) -> Optional[JobRecord]:
+        record = self._pending_index.pop(job_id, None)
+        if record is not None:
+            bucket = self._bucket_key(record.profile.declared_memory_mb)
+            entries = self._buckets.get(bucket)
+            if entries is not None:
+                entries.pop(job_id, None)
+                if not entries:
+                    del self._buckets[bucket]
+        self._parked.discard(job_id)
+        return record
 
     def _on_submit(self, record: JobRecord) -> None:
         """Index — and immediately park — a post-attach arrival.
@@ -175,6 +205,23 @@ class KnapsackClusterScheduler:
         if registry is not None:
             registry.counter("scheduler.parks").inc()
 
+    def _ensure_ordered(self) -> None:
+        if self._pending_ordered:
+            return
+        ordered = sorted(
+            self._pending_index.values(),
+            key=lambda r: (r.profile.submit_time, r.seq),
+        )
+        self._pending_index = {r.job_id: r for r in ordered}
+        self._buckets = {}
+        for record in ordered:
+            bucket = self._bucket_key(record.profile.declared_memory_mb)
+            self._buckets.setdefault(bucket, {})[record.job_id] = record
+        self._pending_ordered = True
+        if ordered:
+            last = ordered[-1]
+            self._last_fifo_key = (last.profile.submit_time, last.seq)
+
     def _unassigned_pending(self) -> list[JobRecord]:
         """Unassigned idle jobs in FIFO order, from the incremental index.
 
@@ -182,25 +229,68 @@ class KnapsackClusterScheduler:
         the *unassigned* count only (never the full job history). Entries
         that left the idle state outside our control are purged lazily.
         """
-        if not self._pending_ordered:
-            ordered = sorted(
-                self._pending_index.values(),
-                key=lambda r: (r.profile.submit_time, r.seq),
-            )
-            self._pending_index = {r.job_id: r for r in ordered}
-            self._pending_ordered = True
-            if ordered:
-                last = ordered[-1]
-                self._last_fifo_key = (last.profile.submit_time, last.seq)
+        self._ensure_ordered()
         stale = [
             job_id
             for job_id, record in self._pending_index.items()
             if record.status != IDLE
         ]
         for job_id in stale:
-            del self._pending_index[job_id]
-            self._parked.discard(job_id)
+            self._index_remove(job_id)
         return list(self._pending_index.values())
+
+    def _fitting_pending(self, free_mb: float) -> list[JobRecord]:
+        """Unassigned idle jobs that fit ``free_mb``, in FIFO order.
+
+        Merges only the weight buckets that can contain fitting jobs:
+        buckets entirely below the free capacity stream through whole,
+        the single boundary bucket is filtered per job, and heavier
+        buckets are never touched. The (submit_time, seq) key is unique
+        per record, so the bucket merge reproduces exactly the order a
+        full FIFO walk filtered by weight would have produced.
+        """
+        self._ensure_ordered()
+        boundary = self._bucket_key(free_mb)
+        runs = []
+        touched = 0
+        for bucket, entries in self._buckets.items():
+            if bucket > boundary:
+                continue
+            touched += len(entries)
+            if bucket == boundary:
+                run = [
+                    r
+                    for r in entries.values()
+                    if r.profile.declared_memory_mb <= free_mb
+                ]
+            else:
+                run = list(entries.values())
+            if run:
+                runs.append(run)
+        self.index_jobs_examined += touched
+        self.index_jobs_skipped += len(self._pending_index) - touched
+        prof = _profile.ACTIVE
+        if prof is not None:
+            prof.index_jobs_examined += touched
+            prof.index_jobs_skipped += len(self._pending_index) - touched
+            if len(self._buckets) > prof.index_buckets_peak:
+                prof.index_buckets_peak = len(self._buckets)
+        if not runs:
+            return []
+        if len(runs) == 1:
+            merged = runs[0]
+        else:
+            merged = list(
+                _heapq_merge(
+                    *runs, key=lambda r: (r.profile.submit_time, r.seq)
+                )
+            )
+        stale = [r.job_id for r in merged if r.status != IDLE]
+        if stale:
+            for job_id in stale:
+                self._index_remove(job_id)
+            merged = [r for r in merged if r.status == IDLE]
+        return merged
 
     def _pack_device(self, node: str, device: int) -> int:
         key = (node, device)
@@ -209,11 +299,7 @@ class KnapsackClusterScheduler:
         free_mb = self._capacity[key] - self._committed[key]
         if free_mb <= 0:
             return 0
-        candidates = [
-            record
-            for record in self._unassigned_pending()
-            if record.profile.declared_memory_mb <= free_mb
-        ]
+        candidates = self._fitting_pending(free_mb)
         if not candidates:
             return 0
         max_jobs: Optional[int] = None
@@ -254,8 +340,7 @@ class KnapsackClusterScheduler:
                 self._assignment[job_id] = key
                 self._committed[key] += record.profile.declared_memory_mb
                 self._node_active[node] += 1
-                self._pending_index.pop(job_id, None)
-                self._parked.discard(job_id)
+                self._index_remove(job_id)
                 if tracer is not None:
                     tracer.instant(
                         "pinned",
@@ -311,8 +396,7 @@ class KnapsackClusterScheduler:
         if key is None:
             # Not ours (e.g., dispatched before attach); drop any index
             # remnants so the job cannot be offered to the packer again.
-            self._pending_index.pop(record.job_id, None)
-            self._parked.discard(record.job_id)
+            self._index_remove(record.job_id)
             return
         node, device = key
         self._committed[key] = max(
@@ -341,6 +425,10 @@ class KnapsackClusterScheduler:
         dirty = sorted(self._dirty_devices)
         self._dirty_devices.clear()
         self.repack_passes += 1
+        prof = _profile.ACTIVE
+        if prof is not None:
+            prof.repack_passes += 1
+            prof.devices_repacked += len(dirty)
         for node, device in dirty:
             if (node, device) in self._offline:
                 continue
@@ -412,8 +500,7 @@ class KnapsackClusterScheduler:
         """
         key = self._assignment.pop(record.job_id, None)
         if key is None:
-            self._pending_index.pop(record.job_id, None)
-            self._parked.discard(record.job_id)
+            self._index_remove(record.job_id)
             return
         node, _device = key
         self._committed[key] = max(

@@ -30,6 +30,7 @@ from . import (
     ext_netchaos,
     ext_oversubscription,
     ext_replication,
+    ext_scale,
     fig7,
     fig8,
     fig9,
@@ -58,6 +59,7 @@ EXPERIMENTS = {
     "ext-netchaos": ext_netchaos,
     "ext-oversubscription": ext_oversubscription,
     "ext-replication": ext_replication,
+    "ext-scale": ext_scale,
 }
 
 __all__ = [
@@ -75,6 +77,7 @@ __all__ = [
     "ext_netchaos",
     "ext_oversubscription",
     "ext_replication",
+    "ext_scale",
     "fig7",
     "fig8",
     "fig9",

@@ -52,9 +52,20 @@ class SimProfiler:
         Matchmaking: cycles run, machines probed with symmetric ClassAd
         matchmaking, and how examined jobs were routed — through the
         collector's O(1) name index versus a scan of every machine.
-    compile_hits / compile_misses:
+    compile_hits / compile_misses / compile_evictions:
         ClassAd closure-compiler cache traffic (see
-        :mod:`repro.condor.compile`).
+        :mod:`repro.condor.compile`); evictions count LRU drops across
+        the closure and plan caches.
+    repack_passes / devices_repacked:
+        Knapsack scheduler: completion-triggered repack passes run, and
+        dirty devices repacked across them.
+    solver_calls / packing_cache_hits:
+        Knapsack solves actually run versus packings served from the
+        packer's (capacity, candidate-set) cache.
+    index_jobs_examined / index_jobs_skipped / index_buckets_peak:
+        Pending-index bucket traffic: jobs streamed from fitting weight
+        buckets, jobs in heavier buckets never touched, and the largest
+        bucket count observed.
     """
 
     __slots__ = (
@@ -70,6 +81,14 @@ class SimProfiler:
         "full_scans",
         "compile_hits",
         "compile_misses",
+        "compile_evictions",
+        "repack_passes",
+        "devices_repacked",
+        "solver_calls",
+        "packing_cache_hits",
+        "index_jobs_examined",
+        "index_jobs_skipped",
+        "index_buckets_peak",
         "_started",
         "wall_total",
     )
@@ -87,6 +106,14 @@ class SimProfiler:
         self.full_scans = 0
         self.compile_hits = 0
         self.compile_misses = 0
+        self.compile_evictions = 0
+        self.repack_passes = 0
+        self.devices_repacked = 0
+        self.solver_calls = 0
+        self.packing_cache_hits = 0
+        self.index_jobs_examined = 0
+        self.index_jobs_skipped = 0
+        self.index_buckets_peak = 0
         self._started: Optional[float] = None
         self.wall_total = 0.0
 
@@ -187,6 +214,37 @@ class SimProfiler:
             )
             lines.append(
                 f"{'compile cache misses':<24}{self.compile_misses:>16,}"
+            )
+            lines.append(
+                f"{'compile cache evictions':<24}{self.compile_evictions:>16,}"
+            )
+        if self.repack_passes or self.solver_calls or self.packing_cache_hits:
+            examined = self.index_jobs_examined
+            skipped = self.index_jobs_skipped
+            total = examined + skipped
+            skip_share = 100.0 * skipped / total if total else 0.0
+            lines.append("scheduler " + "-" * 48)
+            lines.append(
+                f"{'repack passes':<24}{self.repack_passes:>16,}"
+            )
+            lines.append(
+                f"{'devices repacked':<24}{self.devices_repacked:>16,}"
+            )
+            lines.append(
+                f"{'knapsack solver calls':<24}{self.solver_calls:>16,}"
+            )
+            lines.append(
+                f"{'packing cache hits':<24}{self.packing_cache_hits:>16,}"
+            )
+            lines.append(
+                f"{'index jobs examined':<24}{examined:>16,}"
+            )
+            lines.append(
+                f"{'index jobs skipped':<24}{skipped:>16,}"
+                f"  ({skip_share:.1f}%)"
+            )
+            lines.append(
+                f"{'index buckets peak':<24}{self.index_buckets_peak:>16,}"
             )
         return "\n".join(lines)
 

@@ -27,7 +27,7 @@ class TestRegistry:
             "fig10", "ablation-value", "ablation-knapsack", "ablation-cycle",
             "ablation-placement", "ext-capacity", "ext-faults",
             "ext-multidevice", "ext-netchaos", "ext-oversubscription",
-            "ext-replication",
+            "ext-replication", "ext-scale",
         }
         assert set(EXPERIMENTS) == expected
 

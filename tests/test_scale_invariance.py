@@ -1,0 +1,138 @@
+"""Scale invariance: idle nodes must be behaviorally invisible.
+
+The cluster-scale fast path (delta-maintained live sets, lazy node
+materialization, O(1) idle cycles) is only admissible if a big idle pool
+is *observationally identical* to a small one: embedding the paper's
+8-node workload in an otherwise-idle 1024-node pool must yield the same
+per-job outcomes — matched node, final status, start/end timestamps —
+and the same makespan as the plain 8-node run.
+
+The embedding restricts every job's Requirements to the first eight
+machine names (applied identically to both pools, so the job ads match
+byte-for-byte); the extra nodes advertise normally but can never match,
+never receive a dispatch, and — per the fast path — never build a
+device stack or schedule an event.
+
+The property is checked by hypothesis across workload sizes, seeds, and
+both submit-file styles (exclusive MC and random-placement MCC; the
+random policy is the sharpest probe, since a single extra rng draw or a
+reordered viable list would shift every later placement).
+"""
+
+from __future__ import annotations
+
+import random
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cluster import ComputeNode
+from repro.condor import CondorPool, ExclusivePlacement, RandomPlacement
+from repro.sim import Environment
+from repro.workloads import generate_table1_jobs
+
+WORKLOAD_NODES = 8
+BIG_POOL = 1024
+
+#: The submit-file Requirements each style produces (see
+#: :func:`repro.condor.ads.job_ad`), restated so the embedding can AND a
+#: machine-name restriction onto them as a qedit string.
+_STYLE_REQUIREMENTS = {
+    "exclusive": (
+        "TARGET.PhiDevicesFree >= MY.RequestPhiDevices"
+        " && MY.RequestPhiMemory <= TARGET.PhiMemory"
+        " && TARGET.FreeSlots >= 1"
+    ),
+    "random": (
+        "TARGET.PhiDevices >= MY.RequestPhiDevices"
+        " && MY.RequestPhiMemory <= TARGET.PhiMemory"
+        " && TARGET.FreeSlots >= 1"
+    ),
+}
+
+
+def _restriction() -> str:
+    clause = " || ".join(
+        f'TARGET.Machine == "n{i}"' for i in range(WORKLOAD_NODES)
+    )
+    return f"({clause})"
+
+
+def _policy(style: str):
+    if style == "exclusive":
+        return ExclusivePlacement()
+    return RandomPlacement(random.Random(7), memory_aware=False)
+
+
+def _run(style: str, pool_nodes: int, jobs, cycle_interval: float = 15.0):
+    """One pool run; returns (makespan, per-job outcome map)."""
+    env = Environment()
+    mode = "exclusive" if style == "exclusive" else "cosmic"
+    executors = [
+        ComputeNode(env, f"n{i}", mode=mode) for i in range(pool_nodes)
+    ]
+    pool = CondorPool(
+        env,
+        executors,
+        _policy(style),
+        slots_per_node=4,
+        cycle_interval=cycle_interval,
+        dispatch_latency=1.0,
+    )
+    pool.submit(jobs)
+    # The embedding: restrict every job to the workload's eight nodes,
+    # in BOTH pools, so the job ads are identical byte-for-byte.
+    edit = f"{_restriction()} && {_STYLE_REQUIREMENTS[style]}"
+    pool.schedd.qedit_batch(
+        [
+            (record.job_id, "Requirements", edit)
+            for record in pool.schedd.pending()
+        ]
+    )
+    makespan = pool.run_to_completion()
+    outcomes = {}
+    for record in pool.schedd.completed():
+        result = record.result
+        outcomes[record.job_id] = (
+            record.matched_node,
+            result.status,
+            result.start,
+            result.end,
+        )
+    return makespan, outcomes, pool
+
+
+@settings(deadline=None, max_examples=8)
+@given(
+    jobs=st.integers(min_value=2, max_value=10),
+    seed=st.integers(min_value=0, max_value=2**16),
+    style=st.sampled_from(["exclusive", "random"]),
+)
+def test_idle_pool_is_invisible(jobs, seed, style):
+    workload = generate_table1_jobs(jobs, seed=seed)
+    small_makespan, small, _ = _run(style, WORKLOAD_NODES, workload)
+    big_makespan, big, big_pool = _run(style, BIG_POOL, workload)
+
+    assert small_makespan == big_makespan
+    assert small == big
+    # Every matched node lies inside the embedded 8-node cluster.
+    assert all(
+        node in {f"n{i}" for i in range(WORKLOAD_NODES)}
+        for node, _status, _start, _end in big.values()
+    )
+    # The fast path held: no idle node ever materialized a device stack.
+    lazy = sum(
+        1
+        for startd in big_pool.startds[WORKLOAD_NODES:]
+        if not startd.executor.materialized
+    )
+    assert lazy == BIG_POOL - WORKLOAD_NODES
+
+
+def test_embedded_run_matches_exactly_at_1024():
+    """One paper-size deterministic spot check (40 Table-I jobs)."""
+    workload = generate_table1_jobs(40, seed=42)
+    small_makespan, small, _ = _run("random", WORKLOAD_NODES, workload)
+    big_makespan, big, _ = _run("random", BIG_POOL, workload)
+    assert small_makespan == big_makespan
+    assert small == big
