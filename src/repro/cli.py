@@ -48,6 +48,7 @@ _FULL_JOBS = {
     "ablation-cycle": 400,
     "ablation-placement": 400,
     "ext-capacity": 400,
+    "ext-crash": 200,
     "ext-faults": 200,
     "ext-multidevice": 400,
     "ext-netchaos": 200,
@@ -70,6 +71,7 @@ _QUICK_JOBS = {
     "ablation-cycle": 120,
     "ablation-placement": 120,
     "ext-capacity": 120,
+    "ext-crash": 60,
     "ext-faults": 60,
     "ext-multidevice": 120,
     "ext-netchaos": 60,
@@ -92,6 +94,8 @@ _FLAG_CONSUMERS = {
     "--net-loss": {"ext-netchaos"},
     "--net-delay": {"ext-netchaos"},
     "--net-partition": {"ext-netchaos"},
+    "--daemon-crash-rate": {"ext-crash"},
+    "--crash": {"ext-crash"},
 }
 
 #: fig10's per-node pressure at scale 1.0 (see the module).
@@ -111,17 +115,25 @@ def _experiment_kwargs(
     net_losses: Optional[Sequence[float]] = None,
     net_delay: Optional[float] = None,
     net_partitions: Sequence = (),
+    crash_rates: Optional[Sequence[float]] = None,
+    crashes: Sequence = (),
 ) -> dict:
     """Keyword arguments for one experiment's task grid.
 
     ``jobs`` is the explicit ``--job-count`` override; otherwise the
     quick/full table entry scaled by ``REPRO_SCALE``. ``fault_rates``
     (from ``--fault-rate``) only applies to ext-faults; the ``--net-*``
-    knobs only to ext-netchaos (see ``_FLAG_CONSUMERS``).
+    knobs only to ext-netchaos; ``--daemon-crash-rate`` / ``--crash``
+    only to ext-crash (see ``_FLAG_CONSUMERS``).
     """
     kwargs: dict = {"seed": seed}
     if name == "ext-faults" and fault_rates:
         kwargs["rates"] = tuple(fault_rates)
+    if name == "ext-crash":
+        if crash_rates:
+            kwargs["rates"] = tuple(crash_rates)
+        if crashes:
+            kwargs["crashes"] = tuple(crashes)
     if name == "ext-netchaos":
         if net_losses:
             kwargs["losses"] = tuple(net_losses)
@@ -227,6 +239,20 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "between START and END seconds; repeatable",
     )
     parser.add_argument(
+        "--daemon-crash-rate", type=float, action="append", default=None,
+        dest="crash_rates", metavar="RATE",
+        help="ext-crash: daemon crashes per 1000 simulated seconds; repeat "
+        "for a sweep (default: 0 0.5 1 2). The crash schedule seed is "
+        "derived from --seed.",
+    )
+    parser.add_argument(
+        "--crash", action="append", default=None,
+        dest="crashes", metavar="T:DAEMON",
+        help="ext-crash: scripted crash of DAEMON (schedd, negotiator, or "
+        "collector) at T simulated seconds, added to every rate column "
+        "(including rate 0); repeatable",
+    )
+    parser.add_argument(
         "--audit", action="store_true",
         help="run the runtime invariant auditor over every cell: each "
         "submitted job gets exactly one terminal outcome, no slot is "
@@ -276,6 +302,16 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         parser.error("--net-loss must be in [0, 1)")
     if args.net_delay is not None and args.net_delay < 0:
         parser.error("--net-delay must be non-negative")
+    if args.crash_rates and any(rate < 0 for rate in args.crash_rates):
+        parser.error("--daemon-crash-rate must be non-negative")
+    crashes = ()
+    if args.crashes:
+        from .faults import parse_crash
+
+        try:
+            crashes = tuple(parse_crash(spec) for spec in args.crashes)
+        except ValueError as exc:
+            parser.error(f"--crash: {exc}")
     partitions = ()
     if args.net_partitions:
         from .net import parse_partition
@@ -297,6 +333,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "--net-loss": bool(args.net_losses),
         "--net-delay": args.net_delay is not None,
         "--net-partition": bool(args.net_partitions),
+        "--daemon-crash-rate": bool(args.crash_rates),
+        "--crash": bool(args.crashes),
     }
     for flag, on in passed_flags.items():
         if not on:
@@ -364,6 +402,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             net_losses=args.net_losses,
             net_delay=args.net_delay,
             net_partitions=partitions,
+            crash_rates=args.crash_rates,
+            crashes=crashes,
         )
         plans.append((name, kwargs, _grid_for(name, kwargs)))
 

@@ -13,6 +13,7 @@ from .simulation import (
     CONFIGURATIONS,
     ClusterConfig,
     SimulationResult,
+    needs_recovery,
     run_best_fit,
     run_configuration,
     run_mc,
@@ -28,6 +29,7 @@ __all__ = [
     "SimulationResult",
     "ValidationReport",
     "Violation",
+    "needs_recovery",
     "run_best_fit",
     "run_configuration",
     "run_mc",

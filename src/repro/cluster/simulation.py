@@ -104,6 +104,12 @@ class SimulationResult:
     claims_rejected: int = 0
     #: Matches the schedd gave up on before the activation round-tripped.
     match_timeouts: int = 0
+    #: Daemon crash–recovery ledger (all zero without daemon crashes).
+    daemon_crashes: int = 0
+    schedd_recoveries: int = 0
+    wal_records: int = 0
+    wal_replayed: int = 0
+    jobs_readopted: int = 0
 
     @property
     def mean_core_utilization(self) -> float:
@@ -119,6 +125,16 @@ class SimulationResult:
     @property
     def failed_jobs(self) -> int:
         return len(self.job_results) - self.completed_jobs
+
+
+def needs_recovery(faults: Optional[FaultProfile]) -> bool:
+    """Whether a fault profile requires the crash–recovery machinery.
+
+    Only profiles that actually inject daemon crashes get a WAL and a
+    supervisor; everything else keeps the exact pre-recovery pool so
+    outputs stay byte-identical.
+    """
+    return faults is not None and faults.has_daemon_crashes
 
 
 def _build(
@@ -162,6 +178,7 @@ def _build(
         heartbeat_timeout=heartbeat_timeout,
         net=net,
         net_seed=net_seed,
+        recovery=needs_recovery(faults),
     )
     _validate_jobs(jobs, config)
     pool.submit(list(jobs))
@@ -243,6 +260,15 @@ def _collect(
         if pool.claims is not None:
             claims_lost = pool.claims.claims_lost
             match_timeouts = pool.claims.match_timeouts
+    daemon_crashes = schedd_recoveries = wal_records = 0
+    wal_replayed = jobs_readopted = 0
+    if pool.supervisor is not None:
+        daemon_crashes = pool.supervisor.crashes
+        schedd_recoveries = pool.supervisor.recoveries
+        wal_replayed = pool.supervisor.records_replayed
+        jobs_readopted = pool.supervisor.jobs_readopted
+    if pool.schedd.wal is not None:
+        wal_records = pool.schedd.wal.appended
     return SimulationResult(
         configuration=configuration,
         cluster_size=config.nodes,
@@ -265,6 +291,11 @@ def _collect(
         claims_lost=claims_lost,
         claims_rejected=claims_rejected,
         match_timeouts=match_timeouts,
+        daemon_crashes=daemon_crashes,
+        schedd_recoveries=schedd_recoveries,
+        wal_records=wal_records,
+        wal_replayed=wal_replayed,
+        jobs_readopted=jobs_readopted,
     )
 
 

@@ -38,6 +38,7 @@ from .negotiator import (
     RandomPlacement,
 )
 from .pool import CondorPool
+from .recovery import DaemonSupervisor, JobQueueLog, WalRecord
 from .schedd import (
     BACKOFF,
     COMPLETED,
@@ -71,6 +72,8 @@ __all__ = [
     "Collector",
     "CollectorAgent",
     "CondorPool",
+    "DaemonSupervisor",
+    "JobQueueLog",
     "Lease",
     "MATCHED",
     "ScheddClaimManager",
@@ -92,6 +95,7 @@ __all__ = [
     "Startd",
     "SubmitError",
     "UNDEFINED",
+    "WalRecord",
     "CycleStats",
     "MachineAdView",
     "RequirementsPlan",

@@ -229,8 +229,17 @@ class ScheddClaimManager:
 
     # -- timers -----------------------------------------------------------
 
-    def _match_watchdog(self, record: JobRecord, token: int):
-        yield self.env.timeout(self.profile.match_timeout_s)
+    def _match_watchdog(
+        self, record: JobRecord, token: int, deadline: float | None = None
+    ):
+        if deadline is None:
+            deadline = self.env.now + self.profile.match_timeout_s
+        if deadline > self.env.now:
+            yield self.env.timeout(deadline - self.env.now)
+        if self.schedd._records.get(record.job_id) is not record:
+            # Stale closure: a crash–recovery replay replaced this record
+            # object and restarted its own watchdog against the journal.
+            return
         if record.status == MATCHED and record.claim_token == token:
             self.match_timeouts += 1
             registry = _metrics.ACTIVE
@@ -323,6 +332,58 @@ class ScheddClaimManager:
             startd_endpoint(claim.node),
             MSG_CLAIM_RELEASE,
             {"job_id": claim.job_id, "token": claim.token},
+        )
+
+    # -- crash–recovery ---------------------------------------------------
+
+    def crash(self) -> None:
+        """Drop all claim state: the daemon holding it just died.
+
+        The renewal loops and watchdogs notice through their ``closed``
+        and record-identity checks; no per-claim audit events fire — the
+        auditor's ``schedd_crashed`` wipes the claim ledger wholesale.
+        """
+        for claim in list(self._claims.values()):
+            claim.closed = True
+        self._claims.clear()
+
+    def readopt(self, record: JobRecord) -> None:
+        """Re-adopt a replayed RUNNING job under its journaled claim token.
+
+        Rebuilds the schedd-side claim entry and restarts its renewal
+        loop. The lease clock restarts at the recovery instant: if the
+        startd is healthy the next renewal re-establishes the lease; if
+        it is gone, the loop's stop-then-drain path declares the claim
+        lost and the job flows into the normal retry/backoff path.
+        """
+        now = self.env.now
+        claim = _Claim(
+            job_id=record.job_id,
+            node=record.matched_node,
+            token=record.claim_token,
+            opened_at=now,
+            last_acked_send=now,
+            last_sent=now,
+        )
+        self._claims[claim.token] = claim
+        auditor = _audit.ACTIVE
+        if auditor is not None:
+            auditor.claim_opened(claim.job_id, claim.token, now)
+        self.env.process(
+            self._renewal_loop(record, claim), name=f"lease:{record.job_id}"
+        )
+
+    def restart_watchdog(self, record: JobRecord, deadline: float) -> None:
+        """Restore a MATCHED job's watchdog against its original deadline.
+
+        An already-expired deadline fires the watchdog immediately: any
+        claim the lost activation might have opened is itself past its
+        lease by then (``match_timeout_s > lease_duration_s``), so the
+        re-offer cannot overlap a live run.
+        """
+        self.env.process(
+            self._match_watchdog(record, record.claim_token, deadline),
+            name=f"match-timeout:{record.job_id}",
         )
 
     # -- internals --------------------------------------------------------
@@ -515,6 +576,7 @@ class CollectorAgent:
         self.collector = collector
         self.fabric = fabric
         self.profile = profile
+        self.startds = list(startds)
         collector.enable_store()
         fabric.register(COLLECTOR, MSG_MACHINE_UPDATE, self._on_update)
         fabric.register(COLLECTOR, MSG_SNAPSHOT_REQUEST, self._on_request)
@@ -533,6 +595,24 @@ class CollectorAgent:
             yield self.env.timeout(interval)
             if not startd.alive:
                 continue  # a crashed node's daemon publishes nothing
+            self.fabric.send(
+                startd_endpoint(startd.name),
+                COLLECTOR,
+                MSG_MACHINE_UPDATE,
+                {"snapshot": startd.snapshot()},
+            )
+
+    def force_readvertise(self) -> None:
+        """Demand an immediate ad from every live startd.
+
+        A restarted collector holds no store: instead of trusting
+        whatever the crashed instance knew, every healthy startd
+        re-advertises right now (the same ``MSG_MACHINE_UPDATE`` path as
+        the periodic publisher), rebuilding the store from live state.
+        """
+        for startd in self.startds:
+            if not startd.alive:
+                continue
             self.fabric.send(
                 startd_endpoint(startd.name),
                 COLLECTOR,

@@ -118,6 +118,20 @@ class Collector:
         self._dead.discard(name)
         self.refresh_membership(self._startds[name])
 
+    def crash_reset(self) -> None:
+        """Forget all volatile state: the collector daemon just crashed.
+
+        The stored ads, heartbeat clocks, and staleness cache all lived
+        in the dead process; a restarted collector learns the pool again
+        from the re-advertisements the recovery supervisor forces. The
+        registration table and ``_dead`` survive — they model pool
+        *configuration* and the fault injector's own bookkeeping, not
+        collector memory.
+        """
+        self._stored.clear()
+        self._heartbeats.clear()
+        self._stale.clear()
+
     def refresh_membership(self, startd: Startd) -> None:
         """Re-derive one node's presence in the free-candidate set.
 

@@ -343,6 +343,9 @@ class Negotiator:
         self.last_cycle: Optional[CycleStats] = None
         self._proc = None
         self._reschedule_pending = False
+        #: True while the daemon is crashed: cycles are skipped (and not
+        #: counted) until the restart.
+        self.down = False
 
     def start(self) -> None:
         """Begin periodic negotiation (call once, before env.run)."""
@@ -410,8 +413,38 @@ class Negotiator:
             self.negotiate_once()
             yield self.env.timeout(self.cycle_interval)
 
+    def crash(self) -> None:
+        """Drop all soft state: the daemon just died.
+
+        The machine view and in-flight bookkeeping are rebuilt from
+        scratch after the restart; ``_next_token`` survives — it models
+        the claim-id sequence, and reusing a token would alias a dead
+        match's claim onto a live one.
+        """
+        self.down = True
+        self._machine_view = []
+        self._inflight.clear()
+        if self._fabric is not None:
+            self._fabric.set_down(NET_NEGOTIATOR)
+
+    def restore(self) -> None:
+        """Restart cold: reopen the endpoint and ask for a fresh view.
+
+        The periodic loop never stopped ticking; the first cycle after
+        the snapshot response lands rebuilds the indexed view.
+        """
+        self.down = False
+        if self._fabric is not None:
+            self._fabric.set_up(NET_NEGOTIATOR)
+            self._request_snapshots()
+
     def negotiate_once(self) -> int:
         """One negotiation cycle; returns the number of matches made."""
+        if self.down or self.schedd.down:
+            # Crash–recovery: a dead negotiator runs no cycle, and a dead
+            # schedd cannot be asked for its queue. Skipped cycles are
+            # not counted — the daemon wasn't there to run them.
+            return 0
         self.cycles_run += 1
         tracer = _trace.ACTIVE
         registry = _metrics.ACTIVE

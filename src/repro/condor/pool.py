@@ -11,6 +11,7 @@ from ..workloads.profiles import JobProfile
 from .claims import CollectorAgent, ScheddClaimManager, StartdClaimAgent
 from .collector import Collector
 from .negotiator import Negotiator, PlacementPolicy
+from .recovery import DaemonSupervisor, JobQueueLog
 from .schedd import RetryPolicy, Schedd
 from .startd import NodeExecutor, Startd
 
@@ -42,9 +43,20 @@ class CondorPool:
         heartbeat_timeout: Optional[float] = None,
         net: Optional[NetProfile] = None,
         net_seed: int = 0,
+        recovery: bool = False,
     ) -> None:
+        """``recovery`` attaches the crash–recovery machinery: the schedd
+        journals its queue to a :class:`~repro.condor.recovery
+        .JobQueueLog` (before any submission, so the journal is complete)
+        and a :class:`~repro.condor.recovery.DaemonSupervisor` stands by
+        to crash/restart daemons. Requires ``net`` — daemon crashes are
+        modelled as fabric endpoint downtime."""
         if not executors:
             raise ValueError("a pool needs at least one node")
+        if recovery and net is None:
+            raise ValueError(
+                "recovery requires the message fabric (pass a NetProfile)"
+            )
         self.env = env
         self.policy = policy
         self.net = net
@@ -93,6 +105,10 @@ class CondorPool:
             reschedule_on_completion=reschedule_on_completion,
             fabric=self.fabric,
         )
+        self.supervisor: Optional[DaemonSupervisor] = None
+        if recovery:
+            self.schedd.wal = JobQueueLog(env, self.schedd)
+            self.supervisor = DaemonSupervisor(env, self)
 
     def submit(self, profiles: Sequence[JobProfile]) -> None:
         """Queue jobs; the submit-file style follows the pool's policy."""

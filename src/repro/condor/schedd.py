@@ -151,6 +151,12 @@ class JobRecord:
     #: messages (from a match the schedd has since abandoned) carry an
     #: older token and are rejected by the claim manager.
     claim_token: Optional[int] = None
+    #: When the current match notification arrived (MATCHED state only).
+    #: Recovery restores the match watchdog against the original deadline.
+    matched_at: Optional[float] = None
+    #: When a BACKOFF job is due back in the idle queue. Recovery uses it
+    #: to resume the remaining backoff instead of restarting it.
+    requeue_at: Optional[float] = None
 
     @property
     def is_pending(self) -> bool:
@@ -183,6 +189,19 @@ class Schedd:
         #: Callbacks invoked with the JobRecord when a failed job
         #: re-enters the idle queue after its backoff.
         self.requeue_listeners: list[Callable[[JobRecord], None]] = []
+        #: Callbacks invoked (no arguments) after a crash–recovery replay
+        #: has rebuilt the queue — external schedulers resync their view
+        #: of the fresh records here.
+        self.recovery_listeners: list[Callable[[], None]] = []
+        #: Write-ahead job-queue log (:class:`repro.condor.recovery
+        #: .JobQueueLog`); ``None`` (the default) disables journaling and
+        #: keeps every code path byte-identical to a WAL-free schedd.
+        self.wal = None
+        #: True while the daemon is crashed: timers and listeners that
+        #: fire during the outage must not touch the queue.
+        self.down = False
+        #: Completed crash–recovery cycles.
+        self.recoveries = 0
         #: Times any job re-entered the queue after a failure.
         self.requeues = 0
         #: Jobs that exhausted their retries (or were unretryable).
@@ -230,6 +249,8 @@ class Schedd:
         self._fifo.append(record)
         self._unfinished += 1
         self._idle += 1
+        if self.wal is not None:
+            self.wal.log_submit(record, sharing, memory_aware)
         tracer = _trace.ACTIVE
         if tracer is not None:
             tid = job_tid(record)
@@ -335,6 +356,8 @@ class Schedd:
         if record.status != IDLE:
             raise ValueError(f"cannot qedit job {job_id!r} in state {record.status}")
         record.ad.set_expr(attr, expression)
+        if self.wal is not None:
+            self.wal.log_qedit(job_id, attr, expression)
 
     def qedit_batch(self, edits: list[tuple[str, str, str]]) -> None:
         """Apply many edits at once (the paper batches for overhead)."""
@@ -355,8 +378,11 @@ class Schedd:
             raise ValueError(f"job {job_id!r} is {record.status}, not idle")
         record.status = MATCHED
         record.claim_token = token
+        record.matched_at = self.env.now
         record.ad["JobStatus"] = MATCHED
         self._idle -= 1
+        if self.wal is not None:
+            self.wal.log_match(job_id, token)
         registry = _metrics.ACTIVE
         if registry is not None:
             registry.gauge("schedd.queue_depth").record(self.env.now, self._idle)
@@ -368,8 +394,11 @@ class Schedd:
             raise ValueError(f"job {job_id!r} is {record.status}, not matched")
         record.status = IDLE
         record.claim_token = None
+        record.matched_at = None
         record.ad["JobStatus"] = IDLE
         self._idle += 1
+        if self.wal is not None:
+            self.wal.log_unmatch(job_id)
         registry = _metrics.ACTIVE
         if registry is not None:
             registry.gauge("schedd.queue_depth").record(self.env.now, self._idle)
@@ -385,8 +414,11 @@ class Schedd:
         record.status = RUNNING
         record.matched_node = node
         record.matched_device = device
+        record.matched_at = None
         record.ad["JobStatus"] = RUNNING
         self._idle -= 1
+        if self.wal is not None:
+            self.wal.log_run(job_id, node, device)
         tracer = _trace.ACTIVE
         if tracer is not None:
             span = tracer.end_keyed(
@@ -412,6 +444,8 @@ class Schedd:
         record.ad["JobStatus"] = COMPLETED
         record.claim_token = None
         self._unfinished -= 1
+        if self.wal is not None:
+            self.wal.log_complete(job_id, result)
         auditor = _audit.ACTIVE
         if auditor is not None:
             auditor.job_terminal(job_id, result.status, self.env.now)
@@ -481,6 +515,9 @@ class Schedd:
             record.status = BACKOFF
             record.ad["JobStatus"] = BACKOFF
             delay = self.retry_policy.backoff(record.attempts, key=job_id)
+            record.requeue_at = self.env.now + delay
+            if self.wal is not None:
+                self.wal.log_fail(job_id, result, True, record.requeue_at)
             if tracer is not None:
                 tracer.begin_keyed(
                     ("backoff", job_id),
@@ -500,6 +537,8 @@ class Schedd:
             record.ad["JobStatus"] = FAILED
             self._unfinished -= 1
             self.terminal_failures += 1
+            if self.wal is not None:
+                self.wal.log_fail(job_id, result, False, None)
             auditor = _audit.ACTIVE
             if auditor is not None:
                 auditor.job_terminal(job_id, result.status, self.env.now)
@@ -524,7 +563,17 @@ class Schedd:
 
     def _requeue_after(self, record: JobRecord, delay: float):
         yield self.env.timeout(max(0.0, delay))
+        if self.down:
+            # The schedd is crashed: a real requeue timer dies with the
+            # daemon. Recovery replays the BACKOFF record and resumes the
+            # remaining delay from the journal's requeue_at.
+            return
+        if self._records.get(record.job_id) is not record:
+            # Stale closure: a crash–recovery replay replaced this record
+            # object wholesale and rescheduled its own requeue timer.
+            return
         record.status = IDLE
+        record.requeue_at = None
         record.ad["JobStatus"] = IDLE
         if record.base_requirements is not None:
             # Shed the previous attempt's pin/park so the job can match
@@ -533,6 +582,8 @@ class Schedd:
             record.ad["Requirements"] = record.base_requirements
         self.requeues += 1
         self._idle += 1
+        if self.wal is not None:
+            self.wal.log_requeue(record.job_id)
         tracer = _trace.ACTIVE
         if tracer is not None:
             tracer.end_keyed(("backoff", record.job_id), self.env.now)

@@ -590,10 +590,14 @@ def brute_force(
     capacity: float,
     max_items: Optional[int] = None,
     thread_capacity: Optional[int] = None,
+    fit_tolerance: float = 0.0,
 ) -> PackResult:
     """Exhaustive reference solver (exact weights, no quantization).
 
-    Exponential — for tests on small instances only.
+    Exponential — for tests on small instances only. ``fit_tolerance``
+    admits sets overweight by at most that much: when weights are
+    ``k * quantum`` floats, an exact-fit set's sum can exceed capacity
+    by an ulp that the grid-exact DPs (correctly) never see.
     """
     n = len(items)
     if n > 20:
@@ -602,7 +606,7 @@ def brute_force(
     for mask in range(1 << n):
         chosen = [i for i in range(n) if mask >> i & 1]
         weight = sum(items[i].weight for i in chosen)
-        if weight > capacity:
+        if weight > capacity + fit_tolerance:
             continue
         if max_items is not None and len(chosen) > max_items:
             continue

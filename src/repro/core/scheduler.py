@@ -127,6 +127,7 @@ class KnapsackClusterScheduler:
         self.schedd.submit_listeners.append(self._on_submit)
         self.schedd.failure_listeners.append(self._on_failure)
         self.schedd.requeue_listeners.append(self._on_requeue)
+        self.schedd.recovery_listeners.append(self._on_recovery)
         for record in self.schedd.pending():
             self._index_add(record)
         self.schedule_pending()
@@ -412,6 +413,10 @@ class KnapsackClusterScheduler:
 
     def _schedule_repack(self) -> None:
         """Coalesce same-timestep dirty devices into one zero-delay pass."""
+        if self.schedd.down:
+            # Nothing to pack against a crashed schedd; the recovery
+            # resync marks every online device dirty and reschedules.
+            return
         if self._repack_scheduled:
             self.coalesced_completions += 1
             return
@@ -422,6 +427,11 @@ class KnapsackClusterScheduler:
 
     def _coalesced_repack(self, _event) -> None:
         self._repack_scheduled = False
+        if self.schedd.down:
+            # Crash landed between scheduling and firing: drop the pass
+            # (the dirty set is rebuilt wholesale by the recovery resync).
+            self._dirty_devices.clear()
+            return
         dirty = sorted(self._dirty_devices)
         self._dirty_devices.clear()
         self.repack_passes += 1
@@ -458,6 +468,11 @@ class KnapsackClusterScheduler:
             return
         self._offline.add(key)
         self._dirty_devices.discard(key)
+        if self.schedd.down:
+            # The schedd is mid-crash: no qedit can land and the queue is
+            # about to be replayed anyway. Take the card offline now; the
+            # post-recovery resync displaces whatever was pinned to it.
+            return
         displaced = [
             job_id for job_id, assigned in self._assignment.items()
             if assigned == key
@@ -510,6 +525,55 @@ class KnapsackClusterScheduler:
         if key not in self._offline:
             self._dirty_devices.add(key)
             self._schedule_repack()
+
+    def _on_recovery(self) -> None:
+        """Full resync after a schedd crash–replay.
+
+        The replayed queue holds *new* ``JobRecord`` objects, so every
+        record reference cached in the pending index is stale. Rebuild
+        the index from scratch, then reconcile the assignment table
+        against the replayed queue: pins onto live cards are re-asserted
+        (the replay restored the journaled Requirements, but re-issuing
+        them keeps the resync correct even if the crash landed mid
+        qedit batch), pins onto cards that died while the schedd was
+        down are displaced, and everything else is parked for the next
+        pack. Memory commitments for matched/running jobs are untouched
+        — their claims were re-adopted, not re-planned.
+        """
+        self._pending_index = {}
+        self._buckets = {}
+        self._parked = set()
+        self._pending_ordered = True
+        self._last_fifo_key = (float("-inf"), 0)
+        self._dirty_devices.clear()
+        edits = []
+        for record in self.schedd.pending():
+            key = self._assignment.get(record.job_id)
+            if key is not None and key not in self._offline:
+                node, device = key
+                edits.append(
+                    (record.job_id, "Requirements", pin_requirements(node))
+                )
+                edits.append((record.job_id, "AssignedPhiDevice", str(device)))
+                continue
+            if key is not None:
+                # Pinned to a card that went down during the outage.
+                node, _device = key
+                del self._assignment[record.job_id]
+                self._committed[key] = max(
+                    0.0,
+                    self._committed[key] - record.profile.declared_memory_mb,
+                )
+                self._node_active[node] -= 1
+            self._index_add(record)
+            self._parked.add(record.job_id)
+            if record.ad.evaluate("Requirements") is not False:
+                edits.append((record.job_id, "Requirements", PARK_EXPRESSION))
+            self._note_parked(record, reason="recovery")
+        if edits:
+            self.schedd.qedit_batch(edits)
+        self._mark_all_online_dirty()
+        self._schedule_repack()
 
     def _on_requeue(self, record: JobRecord) -> None:
         """Backoff elapsed: park the retry and offer it to the packer."""

@@ -25,6 +25,7 @@ from . import (
     ablation_value,
     common,
     ext_capacity,
+    ext_crash,
     ext_faults,
     ext_multidevice,
     ext_netchaos,
@@ -54,6 +55,7 @@ EXPERIMENTS = {
     "ablation-cycle": ablation_cycle,
     "ablation-placement": ablation_placement,
     "ext-capacity": ext_capacity,
+    "ext-crash": ext_crash,
     "ext-faults": ext_faults,
     "ext-multidevice": ext_multidevice,
     "ext-netchaos": ext_netchaos,
@@ -72,6 +74,7 @@ __all__ = [
     "ablation_value",
     "common",
     "ext_capacity",
+    "ext_crash",
     "ext_faults",
     "ext_multidevice",
     "ext_netchaos",

@@ -156,6 +156,32 @@ def _compute_value(task: SimTask) -> Any:
             "retried": result.retried_completed,
             "faults_injected": result.faults_injected,
         }
+    if task.kind == "sim-crash":
+        p = task.kwargs()
+        job_set = make_workload(p["workload"])
+        result = run_configuration(
+            p["configuration"],
+            job_set,
+            p["config"],
+            faults=p["faults"],
+            fault_seed=p["fault_seed"],
+            net=p["net"],
+            net_seed=p["net_seed"],
+        )
+        return {
+            "makespan": result.makespan,
+            "utilization": result.mean_core_utilization,
+            "jobs": result.job_count,
+            "completed": result.completed_jobs,
+            "failed": result.infra_failed_jobs,
+            "requeues": result.requeues,
+            "retried": result.retried_completed,
+            "crashes": result.daemon_crashes,
+            "recoveries": result.schedd_recoveries,
+            "wal_records": result.wal_records,
+            "wal_replayed": result.wal_replayed,
+            "readopted": result.jobs_readopted,
+        }
     if task.kind == "sim-net":
         p = task.kwargs()
         job_set = make_workload(p["workload"])

@@ -20,6 +20,8 @@ from .errors import (
 )
 from .injector import OUTCOMES, FaultInjector, InjectionRecord
 from .schedule import (
+    DAEMON_CRASH,
+    DAEMONS,
     DEVICE_FAIL,
     DEVICE_RESET,
     JOB_CRASH,
@@ -29,9 +31,12 @@ from .schedule import (
     FaultProfile,
     FaultSchedule,
     derive_fault_seed,
+    parse_crash,
 )
 
 __all__ = [
+    "DAEMON_CRASH",
+    "DAEMONS",
     "DEVICE_FAIL",
     "DEVICE_FAILED",
     "DEVICE_RESET",
@@ -51,4 +56,5 @@ __all__ = [
     "OUTCOMES",
     "derive_fault_seed",
     "fault_status_of",
+    "parse_crash",
 ]

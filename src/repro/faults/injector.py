@@ -46,6 +46,8 @@ from ..obs import trace as _trace
 from ..sim import Environment
 from .errors import JobCrashed, NodeLost
 from .schedule import (
+    DAEMON_CRASH,
+    DAEMONS,
     DEVICE_FAIL,
     DEVICE_RESET,
     JOB_CRASH,
@@ -54,7 +56,12 @@ from .schedule import (
 )
 
 #: Everything an injection attempt can resolve to.
-OUTCOMES = ("applied", "skipped-last-device", "no-target")
+OUTCOMES = (
+    "applied",
+    "skipped-last-device",
+    "no-target",
+    "skipped-daemon-down",
+)
 
 
 @dataclass(frozen=True)
@@ -120,6 +127,14 @@ class FaultInjector:
         self._started = True
         if not self.schedule.events:
             return
+        if (
+            any(e.kind == DAEMON_CRASH for e in self.schedule.events)
+            and getattr(self.pool, "supervisor", None) is None
+        ):
+            raise ValueError(
+                "the schedule injects daemon crashes but the pool has no "
+                "DaemonSupervisor (build it with recovery enabled)"
+            )
         self.env.process(self._driver(), name="fault-injector")
         if getattr(self.pool, "fabric", None) is not None:
             # Fabric mode: periodic machine-updates over the network
@@ -232,6 +247,25 @@ class FaultInjector:
             startd = self.pool.collector.startd(record.matched_node)
             startd.interrupt_job(record.job_id, JobCrashed(record.job_id))
             return "applied", record.job_id
+
+        if event.kind == DAEMON_CRASH:
+            supervisor = self.pool.supervisor
+            downtime = self.schedule.profile.daemon_downtime_s
+            if event.target is not None:
+                # Scripted crash: sibling of the last-device guard — a
+                # daemon that is already down cannot crash again, and
+                # (because crash_daemon schedules the restart before any
+                # other effect) no profile can keep one down forever.
+                if not supervisor.is_up(event.target):
+                    return "skipped-daemon-down", event.target
+                supervisor.crash_daemon(event.target, downtime)
+                return "applied", event.target
+            eligible = [d for d in DAEMONS if supervisor.is_up(d)]
+            if not eligible:
+                return "no-target", None
+            daemon = _pick(eligible, event.pick)
+            supervisor.crash_daemon(daemon, downtime)
+            return "applied", daemon
 
         raise ValueError(f"unknown fault kind {event.kind!r}")
 

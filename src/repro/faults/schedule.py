@@ -28,8 +28,38 @@ DEVICE_FAIL = "device-fail"  # permanent card loss
 DEVICE_RESET = "device-reset"  # card hang + MPSS reset: downtime, then back
 NODE_CRASH = "node-crash"  # whole node lost, reboots after downtime
 JOB_CRASH = "job-crash"  # one running job dies transiently
+DAEMON_CRASH = "daemon-crash"  # a central daemon dies, restarts after downtime
 
-KINDS = (DEVICE_FAIL, DEVICE_RESET, NODE_CRASH, JOB_CRASH)
+# DAEMON_CRASH is appended (not inserted): the sort tiebreak below uses
+# KINDS.index, so old profiles keep their pre-existing event orderings.
+KINDS = (DEVICE_FAIL, DEVICE_RESET, NODE_CRASH, JOB_CRASH, DAEMON_CRASH)
+
+#: Central daemons a DAEMON_CRASH event may target, in pick order.
+DAEMONS = ("schedd", "negotiator", "collector")
+
+
+def parse_crash(spec: str) -> tuple[float, str]:
+    """Parse a CLI scripted-crash spec ``T:DAEMON``.
+
+    ``"600:schedd"`` crashes the schedd at t=600 s. The daemon must be
+    one of :data:`DAEMONS`.
+    """
+    parts = spec.split(":", 1)
+    if len(parts) != 2:
+        raise ValueError(f"crash spec {spec!r} is not T:DAEMON")
+    try:
+        time = float(parts[0])
+    except ValueError:
+        raise ValueError(f"crash spec {spec!r} has a non-numeric time") from None
+    daemon = parts[1]
+    if daemon not in DAEMONS:
+        raise ValueError(
+            f"crash spec {spec!r} names unknown daemon {daemon!r} "
+            f"(expected one of {', '.join(DAEMONS)})"
+        )
+    if time < 0:
+        raise ValueError(f"crash spec {spec!r} has a negative time")
+    return (time, daemon)
 
 
 def derive_fault_seed(seed: int) -> int:
@@ -56,26 +86,47 @@ class FaultProfile:
     device_reset_rate: float = 0.0
     node_crash_rate: float = 0.0
     job_crash_rate: float = 0.0
+    #: Central-daemon crashes (schedd/negotiator/collector) per 1000 s.
+    daemon_crash_rate: float = 0.0
     #: Seconds a reset card stays down before MPSS brings it back.
     reset_downtime_s: float = 60.0
     #: Seconds a crashed node takes to reboot and re-advertise.
     node_downtime_s: float = 300.0
+    #: Seconds a crashed daemon stays down before its restart completes.
+    #: Kept below the default lease duration so a quick schedd restart
+    #: can still re-adopt running claims instead of losing them all.
+    daemon_downtime_s: float = 20.0
     #: Generation horizon: no events are scheduled past this time.
     horizon_s: float = 50_000.0
     #: Collector heartbeat period while chaos is active.
     heartbeat_interval_s: float = 30.0
+    #: Scripted daemon crashes: ``(time, daemon)`` pairs injected at a
+    #: fixed sim time regardless of rates (the CLI's ``--crash T:DAEMON``).
+    crashes: tuple[tuple[float, str], ...] = ()
 
     def __post_init__(self) -> None:
         for name in ("device_fail_rate", "device_reset_rate",
-                     "node_crash_rate", "job_crash_rate"):
+                     "node_crash_rate", "job_crash_rate",
+                     "daemon_crash_rate"):
             if getattr(self, name) < 0:
                 raise ValueError(f"{name} must be non-negative")
         if self.reset_downtime_s < 0 or self.node_downtime_s < 0:
             raise ValueError("downtimes must be non-negative")
+        if self.daemon_downtime_s <= 0:
+            raise ValueError("daemon_downtime_s must be positive")
         if self.horizon_s <= 0:
             raise ValueError("horizon_s must be positive")
         if self.heartbeat_interval_s <= 0:
             raise ValueError("heartbeat_interval_s must be positive")
+        for entry in self.crashes:
+            time, daemon = entry
+            if time < 0:
+                raise ValueError(f"scripted crash {entry!r} has a negative time")
+            if daemon not in DAEMONS:
+                raise ValueError(
+                    f"scripted crash {entry!r} names unknown daemon "
+                    f"{daemon!r} (expected one of {', '.join(DAEMONS)})"
+                )
 
     @property
     def is_null(self) -> bool:
@@ -85,6 +136,8 @@ class FaultProfile:
             and self.device_reset_rate == 0.0
             and self.node_crash_rate == 0.0
             and self.job_crash_rate == 0.0
+            and self.daemon_crash_rate == 0.0
+            and not self.crashes
         )
 
     @property
@@ -94,7 +147,13 @@ class FaultProfile:
             + self.device_reset_rate
             + self.node_crash_rate
             + self.job_crash_rate
+            + self.daemon_crash_rate
         )
+
+    @property
+    def has_daemon_crashes(self) -> bool:
+        """True when the profile can crash a central daemon."""
+        return self.daemon_crash_rate > 0.0 or bool(self.crashes)
 
     @classmethod
     def chaos(cls, rate: float, **overrides) -> "FaultProfile":
@@ -125,6 +184,8 @@ class FaultEvent:
     #: target list at injection time.
     pick: float
     seq: int
+    #: Explicit target for scripted events (``None`` = pick-based).
+    target: str | None = None
 
 
 @dataclass(frozen=True)
@@ -139,12 +200,13 @@ class FaultSchedule:
     def generate(cls, profile: FaultProfile, seed: int) -> "FaultSchedule":
         """Draw the event list; same (profile, seed) → identical output."""
         rng = random.Random(seed)
-        raw: list[tuple[float, str, float]] = []
+        raw: list[tuple[float, str, float, str | None]] = []
         rates = (
             (DEVICE_FAIL, profile.device_fail_rate),
             (DEVICE_RESET, profile.device_reset_rate),
             (NODE_CRASH, profile.node_crash_rate),
             (JOB_CRASH, profile.job_crash_rate),
+            (DAEMON_CRASH, profile.daemon_crash_rate),
         )
         for kind, rate in rates:
             if rate <= 0:
@@ -154,11 +216,13 @@ class FaultSchedule:
                 t += rng.expovariate(rate / 1000.0)
                 if t > profile.horizon_s:
                     break
-                raw.append((t, kind, rng.random()))
+                raw.append((t, kind, rng.random(), None))
+        for time, daemon in profile.crashes:
+            raw.append((time, DAEMON_CRASH, 0.0, daemon))
         raw.sort(key=lambda e: (e[0], KINDS.index(e[1])))
         events = tuple(
-            FaultEvent(time=t, kind=kind, pick=pick, seq=i)
-            for i, (t, kind, pick) in enumerate(raw)
+            FaultEvent(time=t, kind=kind, pick=pick, seq=i, target=target)
+            for i, (t, kind, pick, target) in enumerate(raw)
         )
         return cls(profile=profile, seed=seed, events=events)
 

@@ -138,6 +138,22 @@ class Auditor:
             )
         cell.terminal[job_id] = status
 
+    # -- crash–recovery ---------------------------------------------------
+
+    def schedd_crashed(self, now: float) -> None:
+        """The schedd died: its claim state died with it.
+
+        Only the *claim* ledger is wiped — claims live in the schedd and
+        are legitimately re-opened by recovery's re-adoption. Every
+        other ledger (terminal outcomes, runs, slots, leases) lives
+        outside the crashed daemon, so the exactly-one-terminal-outcome
+        and no-double-run invariants keep holding *across* the restart:
+        a replayed queue that completed a job twice, or re-dispatched a
+        job whose run is still alive, still trips the check.
+        """
+        self.checks += 1
+        self._cell.job_claims.clear()
+
     # -- runs and slots ---------------------------------------------------
 
     def run_started(self, node: str, job_id: str, now: float) -> None:

@@ -298,7 +298,13 @@ class TestPropertyCrossCheck:
         self, raw, capacity_units, quantum, max_items, thread_units, thread_quantum
     ):
         # Weights/threads on the quantum grid keep the DP exact even when
-        # the capacities are not grid multiples.
+        # the capacities are not grid multiples. Snapping the capacity to
+        # 6 decimals keeps it off the float knife-edge: it is either an
+        # exact grid multiple (where an exact-fit set's float sum can
+        # exceed `capacity_units * quantum` by an ulp — absorbed by the
+        # reference's fit_tolerance) or at least 1e-6 quanta away from
+        # any feasibility boundary, where both solvers agree exactly.
+        capacity_units = round(capacity_units, 6)
         items = [
             Item(
                 weight=w * quantum,
@@ -311,7 +317,7 @@ class TestPropertyCrossCheck:
         thread_capacity = thread_units * thread_quantum
 
         plain = knapsack_1d(items, capacity, quantum=quantum)
-        reference = brute_force(items, capacity)
+        reference = brute_force(items, capacity, fit_tolerance=1e-9)
         assert plain.total_value == pytest.approx(
             reference.total_value, abs=1e-6
         )
@@ -320,7 +326,9 @@ class TestPropertyCrossCheck:
         card = knapsack_cardinality(
             items, capacity, max_items=max_items, quantum=quantum
         )
-        reference = brute_force(items, capacity, max_items=max_items)
+        reference = brute_force(
+            items, capacity, max_items=max_items, fit_tolerance=1e-9
+        )
         assert card.total_value == pytest.approx(
             reference.total_value, abs=1e-6
         )
@@ -334,7 +342,10 @@ class TestPropertyCrossCheck:
             quantum=quantum,
             thread_quantum=thread_quantum,
         )
-        reference = brute_force(items, capacity, thread_capacity=thread_capacity)
+        reference = brute_force(
+            items, capacity, thread_capacity=thread_capacity,
+            fit_tolerance=1e-9,
+        )
         assert capped.total_value == pytest.approx(
             reference.total_value, abs=1e-6
         )

@@ -25,7 +25,7 @@ class TestRegistry:
         expected = {
             "motivation", "table2", "table3", "fig7", "fig8", "fig9",
             "fig10", "ablation-value", "ablation-knapsack", "ablation-cycle",
-            "ablation-placement", "ext-capacity", "ext-faults",
+            "ablation-placement", "ext-capacity", "ext-crash", "ext-faults",
             "ext-multidevice", "ext-netchaos", "ext-oversubscription",
             "ext-replication", "ext-scale",
         }

@@ -210,3 +210,97 @@ class TestScheddFailurePath:
         schedd, record = self._submit_one(env)
         with pytest.raises(ValueError):
             schedd.mark_failed(record.job_id, _failed_result(record.job_id))
+
+
+class TestRetryBoundaryAcrossRecovery:
+    """RetryPolicy boundary semantics, including across a schedd crash.
+
+    The contract: a job is retried while ``attempts <= max_retries``, so
+    it runs exactly ``max_retries + 1`` times before failing terminally —
+    and a schedd crash/replay in the middle must neither reset nor
+    double-count the attempt ledger.
+    """
+
+    def _recovery_pool(self, env, **policy_kwargs):
+        import random
+
+        from repro.cluster import ComputeNode
+        from repro.condor import CondorPool, RandomPlacement
+        from repro.net.profile import NetProfile
+
+        executors = [ComputeNode(env, "node0", mode="cosmic")]
+        return CondorPool(
+            env,
+            executors,
+            RandomPlacement(random.Random(7)),
+            net=NetProfile(),
+            recovery=True,
+            retry_policy=RetryPolicy(**policy_kwargs),
+        )
+
+    def _fail_once(self, schedd, record, attempt):
+        schedd.mark_running(record.job_id, "node0", 0)
+        schedd.mark_failed(
+            record.job_id, _failed_result(record.job_id, attempt=attempt)
+        )
+
+    def test_attempts_exactly_at_max_retries_still_retries(self, env):
+        schedd = Schedd(env, retry_policy=RetryPolicy(max_retries=1,
+                                                      base_backoff_s=1.0))
+        record = schedd.submit(generate_table1_jobs(1, seed=3)[0])
+        self._fail_once(schedd, record, 0)
+        # attempts == max_retries: exactly at the boundary, retried.
+        assert record.attempts == 1
+        assert record.status == BACKOFF
+        env.run(until=env.now + 10.0)
+        self._fail_once(schedd, record, 1)
+        # attempts == max_retries + 1: one past the boundary, terminal —
+        # the job ran max_retries + 1 = 2 times in total.
+        assert record.attempts == 2
+        assert record.status == FAILED
+
+    def test_attempt_accounting_survives_schedd_crash(self, env):
+        pool = self._recovery_pool(env, max_retries=3, base_backoff_s=50.0)
+        schedd = pool.schedd
+        old = schedd.submit(generate_table1_jobs(1, seed=3)[0])
+        self._fail_once(schedd, old, 0)
+        assert old.attempts == 1
+        pool.supervisor.crash_daemon("schedd", downtime_s=5.0)
+        env.run(until=env.timeout(10.0))
+        record = schedd.get(old.job_id)
+        assert record is not old  # replay rebuilt the record
+        assert record.attempts == 1
+        assert record.status == BACKOFF
+        assert len(record.failures) == 1
+        # The journaled backoff resumes its remaining delay, then the
+        # retry budget continues from where the crash left it.
+        env.run(until=env.timeout(60.0))
+        assert record.status == IDLE
+        for attempt in range(1, 4):
+            self._fail_once(schedd, record, attempt)
+            env.run(until=env.now + 1000.0)
+        # 4 runs total = max_retries + 1, counted across the restart.
+        assert record.attempts == 4
+        assert record.status == FAILED
+
+    def test_non_retryable_outcomes_stay_terminal_after_recovery(self, env):
+        pool = self._recovery_pool(env, max_retries=0)
+        schedd = pool.schedd
+        jobs = generate_table1_jobs(2, seed=3)
+        exhausted = schedd.submit(jobs[0])
+        killed = schedd.submit(jobs[1])
+        self._fail_once(schedd, exhausted, 0)
+        assert exhausted.status == FAILED
+        schedd.mark_running(killed.job_id, "node0", 0)
+        schedd.mark_completed(
+            killed.job_id,
+            _failed_result(killed.job_id, status="memory-limit"),
+        )
+        pool.supervisor.crash_daemon("schedd", downtime_s=5.0)
+        env.run(until=env.timeout(200.0))
+        assert schedd.get(exhausted.job_id).status == FAILED
+        assert schedd.get(killed.job_id).status == "Completed"
+        assert schedd.get(killed.job_id).result.status == "memory-limit"
+        # Neither terminal job re-entered the queue after the restart.
+        assert schedd.pending() == []
+        assert schedd.requeues == 0
